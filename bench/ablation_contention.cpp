@@ -1,0 +1,81 @@
+// §7.1 contention experiment: on a node whose interconnect NIC and WAN NIC
+// share the I/O bus, combining computation/I-O overlap with two TCP
+// connections is no better than overlap alone — and restructuring the code
+// (moving the MPIO_Wait from Fig. 4 position 1 to position 2, so remote I/O
+// no longer overlaps the MPI communication) restores the two-stream gain.
+//
+// Usage: ablation_contention [--scale=400] [--bus-kbs=1200] [--csv]
+#include <algorithm>
+#include <cstdio>
+
+#include "testbed/harness.hpp"
+#include "testbed/workloads.hpp"
+
+using namespace remio;
+using namespace remio::testbed;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  apply_time_scale(opts);
+
+  // DAS-2 variant with a narrow node I/O bus (P-III-era shared PCI) and a
+  // communication-heavy compute phase ("most of the computation phase is
+  // actually spent in MPI send/receive calls", §7.1).
+  ClusterSpec cluster = das2();
+  cluster.node_bus_rate = opts.get_double("bus-kbs", 1200.0) * 1e3;
+  // Deep arbitration/TCP-starvation collapse while both NICs use the bus.
+  cluster.bus_contention_penalty = opts.get_double("penalty", 0.2);
+
+  LaplaceParams base;
+  base.checkpoint_bytes = 8u << 20;
+  base.checkpoints = 3;
+  base.iters_per_checkpoint = 4;
+  base.compute_total = 2.0;
+  base.halo_bytes = 512 * 1024;
+  base.async = true;
+
+  const int procs = static_cast<int>(opts.get_int("procs", 2));
+
+  // Best of two runs per configuration: host scheduling stalls only ever
+  // slow a run down, so min is the robust estimator.
+  auto timed = [&](int streams, WaitPlacement wait) {
+    double best = 1e100;
+    for (int rep = 0; rep < 2; ++rep) {
+      Testbed tb(cluster, procs);
+      LaplaceParams p = base;
+      p.streams = streams;
+      p.wait = wait;
+      best = std::min(best, run_laplace(tb, procs, p).exec);
+    }
+    return best;
+  };
+
+  const double overlap_1s = timed(1, WaitPlacement::kBeforeNextWrite);
+  const double overlap_2s = timed(2, WaitPlacement::kBeforeNextWrite);
+  const double moved_2s = timed(2, WaitPlacement::kBeforeComm);
+
+  double sync_time;
+  {
+    Testbed tb(cluster, procs);
+    LaplaceParams p = base;
+    p.async = false;
+    sync_time = run_laplace(tb, procs, p).exec;
+  }
+
+  Table table({"configuration", "exec-sim-s", "vs-overlap-1s-%"});
+  auto rel = [&](double t) { return (t - overlap_1s) / overlap_1s * 100.0; };
+  table.add_row({"sync, 1 stream", Table::num(sync_time, 1), Table::num(rel(sync_time), 1)});
+  table.add_row({"overlap, 1 stream (Fig.4 pos 1)", Table::num(overlap_1s, 1), "0.0"});
+  table.add_row({"overlap, 2 streams (pos 1)", Table::num(overlap_2s, 1),
+                 Table::num(rel(overlap_2s), 1)});
+  table.add_row({"wait moved, 2 streams (pos 2)", Table::num(moved_2s, 1),
+                 Table::num(rel(moved_2s), 1)});
+  emit(opts, "Ablation: I/O-bus contention (Laplace on narrow-bus DAS-2)", table);
+
+  std::printf("paper: overlap+2streams ~= overlap alone (bus contention between "
+              "interconnect and Ethernet NICs); moving the wait restores the "
+              "2-stream advantage.\nmeasured: overlap+2s is %+.0f%% vs overlap-1s; "
+              "moving the wait yields %+.0f%%.\n",
+              rel(overlap_2s), rel(moved_2s));
+  return 0;
+}

@@ -1,0 +1,38 @@
+// §4.3 ablation: how many dedicated I/O threads should serve how many TCP
+// streams? The paper argues the ideal is one thread per stream — threads
+// sharing a single stream serialize on it, and fewer threads than streams
+// leave connections idle.
+//
+// Usage: ablation_iothreads [--cluster=tg] [--procs=2] [--scale=400] [--csv]
+#include <cstdio>
+
+#include "testbed/harness.hpp"
+#include "testbed/workloads.hpp"
+
+using namespace remio;
+using namespace remio::testbed;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  apply_time_scale(opts);
+  const ClusterSpec cluster = cluster_by_name(opts.get("cluster", "tg"));
+  const int procs = static_cast<int>(opts.get_int("procs", 2));
+
+  Table table({"streams", "io-threads", "agg-write-MB/sim-s"});
+  for (const int streams : {1, 2, 4}) {
+    for (const int threads : {1, 2, 4}) {
+      Testbed tb(cluster, procs);
+      PerfParams p;
+      p.array_bytes = 2u << 20;
+      p.streams = streams;
+      p.io_threads = threads;
+      const auto r = run_perf(tb, procs, p);
+      table.add_row({std::to_string(streams), std::to_string(threads),
+                     Table::num(r.write_bw / 1e6, 2)});
+    }
+  }
+  emit(opts, "Ablation: I/O threads x TCP streams (" + cluster.name + ")", table);
+  std::printf("expectation: bandwidth grows with streams only while io-threads >= "
+              "streams; extra threads beyond the stream count buy nothing (§4.3).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 7 reproduction: 2-D Laplace solver execution time vs. processors
+// on DAS-2, OSC P4 and TG-NCSA — synchronous I/O, asynchronous I/O, the
+// maximum-speedup expectation, and the two-TCP-streams variant (§7.1).
+//
+// Paper targets: async beats sync by 6–9% (I/O:compute ~9:1); two streams
+// cut average execution time by ~38% on DAS-2 and ~23% on TG-NCSA, while
+// the OSC NAT host mutes the two-stream gain.
+//
+// Usage: fig7_laplace [--clusters=das2,osc,tg] [--procs=1,2,4,7,10,13]
+//                     [--scale=400] [--csv]
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "simnet/timescale.hpp"
+#include "testbed/harness.hpp"
+#include "testbed/workloads.hpp"
+
+using namespace remio;
+using namespace remio::testbed;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  // Scale 60: sync-vs-async deltas here are a few percent, so shaped times
+  // must dwarf scheduler jitter.
+  simnet::set_time_scale(opts.get_double("scale", 60.0));
+  const auto clusters = clusters_from(opts);
+  const auto procs = procs_from(opts, {1, 2, 4, 7, 10, 13});
+
+  const LaplaceParams base;  // 3 checkpoints x 24 MB, I/O-heavy like §7.1
+
+  // Keep the paper's ~9:1 I/O:compute ratio *on each cluster*: the solver's
+  // compute work is fixed per grid, but the I/O phase shrinks with the
+  // cluster's per-stream WAN throughput, so the calibrated compute budget
+  // (in DAS-2 CPU seconds; run_laplace divides by cpu_speed) shrinks too.
+  auto laplace_compute = [&](const ClusterSpec& c) {
+    if (c.name == "das2") return 12.0;
+    if (c.name == "osc") return 9.5;
+    return 7.8;  // tg
+  };
+
+  std::printf("Figure 7: 2-D Laplace solver execution time (simulated seconds)\n");
+
+  for (const auto& cluster : clusters) {
+    Table table({"procs", "sync", "async", "max-speedup-expected", "2-tcp-streams",
+                 "async-gain-%", "2stream-gain-%", "achieved-%-of-max"});
+    OnlineStats async_gain;
+    OnlineStats stream_gain;
+    OnlineStats achieved;
+
+    for (const int p : procs) {
+      RunResult sync_r;
+      RunResult async_r;
+      RunResult two_r;
+      LaplaceParams cp = base;
+      cp.compute_total = opts.get_double("compute", laplace_compute(cluster));
+      {
+        Testbed tb(cluster, p);
+        sync_r = run_laplace(tb, p, cp);
+      }
+      {
+        Testbed tb(cluster, p);
+        LaplaceParams ap = cp;
+        ap.async = true;
+        async_r = run_laplace(tb, p, ap);
+      }
+      {
+        Testbed tb(cluster, p);
+        LaplaceParams tp = cp;
+        tp.async = true;
+        tp.streams = 2;
+        two_r = run_laplace(tb, p, tp);
+      }
+      const double serial = std::max(0.0, sync_r.exec - sync_r.compute_phase -
+                                              sync_r.io_phase);
+      const double expected = sync_r.expected_overlap + serial;
+      const double a_gain = pct_gain(async_r.exec, sync_r.exec);
+      const double s_gain = (sync_r.exec - two_r.exec) / sync_r.exec * 100.0;
+      const double achieved_pct = expected / async_r.exec * 100.0;
+      async_gain.add(a_gain);
+      stream_gain.add(s_gain);
+      achieved.add(achieved_pct);
+      table.add_row({std::to_string(p), Table::num(sync_r.exec, 1),
+                     Table::num(async_r.exec, 1), Table::num(expected, 1),
+                     Table::num(two_r.exec, 1), Table::num(a_gain, 1),
+                     Table::num(s_gain, 1), Table::num(achieved_pct, 1)});
+    }
+    emit(opts, "Fig 7 (" + cluster.name + ")", table);
+    std::printf("summary[%s]: sync %.0f%% slower than async (paper: 6-9%%); two "
+                "streams cut exec by %.0f%% (paper: das2 38%%, tg 23%%, osc muted "
+                "by NAT); achieved %.0f%% of max speedup (paper: 96-97%%)\n",
+                cluster.name.c_str(), async_gain.mean(), stream_gain.mean(),
+                achieved.mean());
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// google-benchmark microbenchmarks for the compression substrate: codec
+// throughput on the content classes the experiments use, and frame
+// encode/decode overhead.
+#include <benchmark/benchmark.h>
+
+#include "bio/synth.hpp"
+#include "common/rng.hpp"
+#include "compress/codec.hpp"
+#include "compress/frame.hpp"
+
+namespace {
+
+using namespace remio;
+
+Bytes dna_content(std::size_t n) {
+  bio::SynthConfig cfg;
+  cfg.genome_length = 96 * 1024;
+  bio::EstGenerator gen(cfg);
+  const std::string text = gen.nucleotide_text(n);
+  return Bytes(text.begin(), text.end());
+}
+
+Bytes random_content(std::size_t n) {
+  Rng rng(17);
+  return rng.bytes(n);
+}
+
+void BM_CompressDna(benchmark::State& state, const char* codec_name) {
+  const auto& codec = compress::codec_by_name(codec_name);
+  const Bytes input = dna_content(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes out;
+    out.reserve(codec.max_compressed_size(input.size()));
+    codec.compress(ByteSpan(input.data(), input.size()), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK_CAPTURE(BM_CompressDna, lzmini, "lzmini")->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_CompressDna, rle, "rle")->Arg(1 << 20);
+BENCHMARK_CAPTURE(BM_CompressDna, null, "null")->Arg(1 << 20);
+
+void BM_CompressRandom(benchmark::State& state) {
+  const auto& codec = compress::codec_by_name("lzmini");
+  const Bytes input = random_content(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes out;
+    out.reserve(codec.max_compressed_size(input.size()));
+    codec.compress(ByteSpan(input.data(), input.size()), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_CompressRandom)->Arg(1 << 20);
+
+void BM_DecompressDna(benchmark::State& state) {
+  const auto& codec = compress::codec_by_name("lzmini");
+  const Bytes input = dna_content(static_cast<std::size_t>(state.range(0)));
+  Bytes compressed;
+  codec.compress(ByteSpan(input.data(), input.size()), compressed);
+  for (auto _ : state) {
+    Bytes out;
+    out.reserve(input.size());
+    codec.decompress(ByteSpan(compressed.data(), compressed.size()), out, input.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_DecompressDna)->Arg(1 << 20);
+
+void BM_FrameRoundTrip(benchmark::State& state) {
+  const Bytes block = dna_content(1 << 20);
+  for (auto _ : state) {
+    Bytes wire;
+    compress::encode_frame(compress::codec_by_name("lzmini"),
+                           ByteSpan(block.data(), block.size()), wire);
+    Bytes out;
+    compress::decode_frame(ByteSpan(wire.data(), wire.size()), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_FrameRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

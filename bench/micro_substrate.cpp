@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks for the substrates on which every
+// experiment stands: the MPMC I/O queue (Fig. 2), token-bucket accounting,
+// the wire-protocol framing, the aligner's seed stage, and minimpi p2p.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bio/kmer_index.hpp"
+#include "bio/synth.hpp"
+#include "common/queue.hpp"
+#include "minimpi/runtime.hpp"
+#include "simnet/token_bucket.hpp"
+#include "srb/protocol.hpp"
+
+namespace {
+
+using namespace remio;
+
+void BM_QueuePushPop(benchmark::State& state) {
+  BoundedQueue<int> q(1024);
+  for (auto _ : state) {
+    q.push(1);
+    benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueuePushPop);
+
+void BM_QueueProducerConsumer(benchmark::State& state) {
+  for (auto _ : state) {
+    BoundedQueue<int> q(256);
+    std::thread consumer([&] {
+      while (q.pop().has_value()) {
+      }
+    });
+    for (int i = 0; i < 1000; ++i) q.push(i);
+    q.close();
+    consumer.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_QueueProducerConsumer);
+
+void BM_TokenBucketUnlimited(benchmark::State& state) {
+  simnet::TokenBucket tb(0.0);
+  for (auto _ : state) tb.acquire(64 * 1024);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64 * 1024);
+}
+BENCHMARK(BM_TokenBucketUnlimited);
+
+void BM_TokenBucketFastRate(benchmark::State& state) {
+  // A rate far above demand: measures bookkeeping, not waiting.
+  simnet::TokenBucket tb(1e15, 1e12);
+  for (auto _ : state) tb.acquire(64 * 1024);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64 * 1024);
+}
+BENCHMARK(BM_TokenBucketFastRate);
+
+void BM_ProtocolFrameEncode(benchmark::State& state) {
+  Bytes payload(static_cast<std::size_t>(state.range(0)), 'p');
+  for (auto _ : state) {
+    Bytes msg;
+    ByteWriter w(msg);
+    w.u32(static_cast<std::uint32_t>(payload.size() + 13));
+    w.u8(static_cast<std::uint8_t>(srb::Op::kObjWrite));
+    w.i32(3);
+    w.i64(-1);
+    w.blob(ByteSpan(payload.data(), payload.size()));
+    benchmark::DoNotOptimize(msg.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ProtocolFrameEncode)->Arg(4 << 10)->Arg(256 << 10);
+
+void BM_KmerIndexBuild(benchmark::State& state) {
+  bio::SynthConfig cfg;
+  cfg.genome_length = 64 * 1024;
+  bio::EstGenerator gen(cfg);
+  const auto db = gen.sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    bio::KmerIndex index(db, 11);
+    benchmark::DoNotOptimize(index.distinct_kmers());
+  }
+}
+BENCHMARK(BM_KmerIndexBuild)->Arg(50)->Arg(200);
+
+void BM_MinimpiPingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    mpi::run(2, [bytes](mpi::Comm& comm) {
+      const Bytes payload(bytes, 'm');
+      for (int i = 0; i < 10; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(1, 0, ByteSpan(payload.data(), payload.size()));
+          comm.recv(1, 1);
+        } else {
+          comm.recv(0, 0);
+          comm.send(0, 1, ByteSpan(payload.data(), payload.size()));
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 20 *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MinimpiPingPong)->Arg(1 << 10)->Arg(64 << 10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Quickstart: the smallest end-to-end SEMPLAR program.
+//
+// Builds a one-node TeraGrid-like testbed (shaped fabric + SRB broker),
+// opens a remote file through the MPI-IO front end, and shows the three
+// I/O styles the library offers:
+//   1. synchronous write/read (original SEMPLAR),
+//   2. asynchronous iwrite + MPIO_Wait (this paper's extension),
+//   3. overlap: compute while the I/O thread ships the data.
+//
+// Run: build/examples/quickstart
+#include <cstdio>
+
+#include "core/semplar.hpp"
+#include "simnet/timescale.hpp"
+#include "testbed/world.hpp"
+
+using namespace remio;
+
+int main() {
+  // 1 wall second = 500 simulated seconds, so the WAN transfer is instant
+  // to us but "takes" realistic simulated time.
+  simnet::set_time_scale(500.0);
+
+  testbed::Testbed tb(testbed::tg_ncsa(), /*nodes=*/1);
+  std::printf("testbed up: cluster=%s, SRB server=%s\n",
+              tb.cluster().name.c_str(), tb.server().config().host.c_str());
+
+  // A SEMPLAR driver for node 0 with two TCP streams and two I/O threads.
+  semplar::SrbfsDriver driver(tb.fabric(), tb.semplar_config(0, /*streams=*/2,
+                                                             /*io_threads=*/2));
+
+  mpiio::File file(driver, "/home/demo/quickstart.dat",
+                   mpiio::kModeRead | mpiio::kModeWrite | mpiio::kModeCreate);
+
+  // --- synchronous path ----------------------------------------------------
+  const Bytes hello = to_bytes("hello remote storage!");
+  file.write_at(0, ByteSpan(hello.data(), hello.size()));
+  Bytes back(hello.size());
+  file.read_at(0, MutByteSpan(back.data(), back.size()));
+  std::printf("sync round-trip: \"%s\"\n", to_string(ByteSpan(back.data(), back.size())).c_str());
+
+  // --- asynchronous path -----------------------------------------------------
+  const Bytes block(512 * 1024, 'x');
+  const double t0 = simnet::sim_now();
+  mpiio::IoRequest req = file.iwrite_at(1024, ByteSpan(block.data(), block.size()));
+  const double issue_time = simnet::sim_now() - t0;
+
+  // The compute phase runs while the I/O threads stripe the block across
+  // both TCP streams.
+  double acc = 0.0;
+  for (int i = 0; i < 2000000; ++i) acc += 1.0 / (1.0 + i);
+
+  const std::size_t written = semplar::MPIO_Wait(req);
+  const double total_time = simnet::sim_now() - t0;
+  std::printf("async write: %zu bytes; issue took %.3f sim-s, completion %.3f sim-s"
+              " (compute result %.3f ran in between)\n",
+              written, issue_time, total_time, acc);
+
+  std::printf("remote object size: %llu bytes\n",
+              static_cast<unsigned long long>(file.size()));
+
+  // --- per-file statistics -----------------------------------------------------
+  auto handle = driver.open("/home/demo/quickstart.dat", mpiio::kModeRead);
+  auto* sf = dynamic_cast<semplar::SemplarFile*>(handle.get());
+  if (sf != nullptr) {
+    Bytes probe(1024);
+    sf->read_at(0, MutByteSpan(probe.data(), probe.size()));
+    const auto snap = sf->stats().snapshot();
+    std::printf("stats on probe handle: %llu bytes read, %llu sync calls\n",
+                static_cast<unsigned long long>(snap.bytes_read),
+                static_cast<unsigned long long>(snap.sync_calls));
+  }
+  handle.reset();
+  file.close();
+  std::printf("quickstart OK\n");
+  return 0;
+}

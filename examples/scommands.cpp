@@ -1,0 +1,158 @@
+// Scommands — a command-line broker utility in the spirit of the real
+// SRB's Sput/Sget/Sls/Smkdir tools, driving the synchronous client API
+// against an in-process testbed broker. Demonstrates the whole catalog
+// surface: collections, objects, attributes, stat, unlink.
+//
+// With no arguments it runs a scripted demo session; otherwise:
+//   scommands put <local-file> <remote-path>
+//   scommands get <remote-path> <local-file>
+//   scommands ls <collection>
+//   scommands stat <remote-path>
+//   scommands mkdir <collection>
+//   scommands rm <remote-path>
+//   scommands attr <remote-path> <key> [<value>]
+// (All against a fresh broker — the demo is the interesting mode; a real
+// deployment would dial a long-lived server.)
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/options.hpp"
+#include "simnet/timescale.hpp"
+#include "srb/client.hpp"
+#include "testbed/world.hpp"
+
+using namespace remio;
+
+namespace {
+
+Bytes slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open local file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string s = ss.str();
+  return Bytes(s.begin(), s.end());
+}
+
+void spill(const std::string& path, ByteSpan data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write local file: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+int put(srb::SrbClient& client, const std::string& local, const std::string& remote) {
+  const Bytes data = slurp(local);
+  const auto fd = client.open(remote, srb::kWrite | srb::kCreate | srb::kTrunc);
+  client.pwrite(fd, ByteSpan(data.data(), data.size()), 0);
+  client.close(fd);
+  std::printf("Sput: %zu bytes -> %s\n", data.size(), remote.c_str());
+  return 0;
+}
+
+int get(srb::SrbClient& client, const std::string& remote, const std::string& local) {
+  const auto st = client.stat(remote);
+  if (!st) {
+    std::printf("Sget: no such object: %s\n", remote.c_str());
+    return 1;
+  }
+  Bytes data(st->size);
+  const auto fd = client.open(remote, srb::kRead);
+  client.pread(fd, MutByteSpan(data.data(), data.size()), 0);
+  client.close(fd);
+  spill(local, ByteSpan(data.data(), data.size()));
+  std::printf("Sget: %s -> %zu bytes in %s\n", remote.c_str(), data.size(),
+              local.c_str());
+  return 0;
+}
+
+int ls(srb::SrbClient& client, const std::string& coll) {
+  for (const auto& entry : client.list(coll)) {
+    const auto st = client.stat(entry);
+    if (st)
+      std::printf("  %-40s %10llu bytes  (%s)\n", entry.c_str(),
+                  static_cast<unsigned long long>(st->size), st->resource.c_str());
+    else
+      std::printf("  %-40s <collection>\n", entry.c_str());
+  }
+  return 0;
+}
+
+int stat_cmd(srb::SrbClient& client, const std::string& remote) {
+  const auto st = client.stat(remote);
+  if (!st) {
+    std::printf("Sstat: no such object: %s\n", remote.c_str());
+    return 1;
+  }
+  std::printf("%s: %llu bytes, object id %llu, resource %s\n", remote.c_str(),
+              static_cast<unsigned long long>(st->size),
+              static_cast<unsigned long long>(st->object_id), st->resource.c_str());
+  return 0;
+}
+
+int demo(srb::SrbClient& client) {
+  std::printf("-- scripted demo session (banner: %s)\n",
+              client.server_banner().c_str());
+  client.make_collection("/home/demo/projects");
+  const auto fd = client.open("/home/demo/projects/readme.txt",
+                              srb::kRead | srb::kWrite | srb::kCreate);
+  const Bytes text = to_bytes("SEMPLAR reproduction scratch object\n");
+  client.pwrite(fd, ByteSpan(text.data(), text.size()), 0);
+  client.close(fd);
+  client.set_attr("/home/demo/projects/readme.txt", "owner", "demo");
+  client.set_attr("/home/demo/projects/readme.txt", "codec", "none");
+
+  std::printf("-- Sls /home/demo/projects\n");
+  ls(client, "/home/demo/projects");
+  stat_cmd(client, "/home/demo/projects/readme.txt");
+  std::printf("-- attr owner = %s\n",
+              client.get_attr("/home/demo/projects/readme.txt", "owner")
+                  .value_or("<unset>")
+                  .c_str());
+
+  client.unlink("/home/demo/projects/readme.txt");
+  std::printf("-- removed; collection now has %zu entries\n",
+              client.list("/home/demo/projects").size());
+  std::printf("scommands OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  simnet::set_time_scale(opts.get_double("scale", 2000.0));
+  testbed::Testbed tb(testbed::tg_ncsa(), 1);
+  srb::SrbClient client(tb.fabric(), tb.node_host(0), "orion", 5544, {}, "scommands");
+
+  const auto& args = opts.positional();
+  try {
+    if (args.empty()) return demo(client);
+    const std::string& cmd = args[0];
+    if (cmd == "put" && args.size() == 3) return put(client, args[1], args[2]);
+    if (cmd == "get" && args.size() == 3) return get(client, args[1], args[2]);
+    if (cmd == "ls" && args.size() == 2) return ls(client, args[1]);
+    if (cmd == "stat" && args.size() == 2) return stat_cmd(client, args[1]);
+    if (cmd == "mkdir" && args.size() == 2) {
+      client.make_collection(args[1]);
+      return 0;
+    }
+    if (cmd == "rm" && args.size() == 2) {
+      client.unlink(args[1]);
+      return 0;
+    }
+    if (cmd == "attr" && args.size() == 4) {
+      client.set_attr(args[1], args[2], args[3]);
+      return 0;
+    }
+    if (cmd == "attr" && args.size() == 3) {
+      std::printf("%s\n", client.get_attr(args[1], args[2]).value_or("<unset>").c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "usage: scommands [put|get|ls|stat|mkdir|rm|attr] ...\n");
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scommands: %s\n", e.what());
+    return 1;
+  }
+}

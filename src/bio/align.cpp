@@ -1,0 +1,123 @@
+#include "bio/align.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace remio::bio {
+
+Aligner::Aligner(const std::vector<Sequence>& db, const KmerIndex& index,
+                 AlignParams params)
+    : db_(db), index_(index), params_(params) {}
+
+Hsp Aligner::extend(const std::string& q, std::uint32_t qpos, const std::string& d,
+                    std::uint32_t dpos, std::uint32_t db_seq) const {
+  const unsigned k = index_.k();
+  // Seed region scores k matches by construction.
+  int score = params_.match_score * static_cast<int>(k);
+
+  // Extend right with X-drop.
+  int best = score;
+  std::size_t qi = qpos + k;
+  std::size_t di = dpos + k;
+  std::size_t best_right_q = qi;
+  while (qi < q.size() && di < d.size()) {
+    score += (q[qi] == d[di]) ? params_.match_score : params_.mismatch_penalty;
+    ++qi;
+    ++di;
+    if (score > best) {
+      best = score;
+      best_right_q = qi;
+    }
+    if (best - score > params_.x_drop) break;
+  }
+
+  // Extend left with X-drop.
+  score = best;
+  std::int64_t ql = static_cast<std::int64_t>(qpos) - 1;
+  std::int64_t dl = static_cast<std::int64_t>(dpos) - 1;
+  std::int64_t best_left_q = qpos;
+  while (ql >= 0 && dl >= 0) {
+    score += (q[static_cast<std::size_t>(ql)] == d[static_cast<std::size_t>(dl)])
+                 ? params_.match_score
+                 : params_.mismatch_penalty;
+    if (score > best) {
+      best = score;
+      best_left_q = ql;
+    }
+    --ql;
+    --dl;
+    if (best - score > params_.x_drop) break;
+  }
+
+  Hsp h;
+  h.db_seq = db_seq;
+  h.query_start = static_cast<std::uint32_t>(best_left_q);
+  h.db_start = dpos - (qpos - h.query_start);
+  h.length = static_cast<std::uint32_t>(best_right_q - static_cast<std::size_t>(best_left_q));
+  h.score = best;
+  return h;
+}
+
+std::vector<Hsp> Aligner::search(const Sequence& query) const {
+  const unsigned k = index_.k();
+  const std::string& q = query.residues;
+  // Best HSP per (db sequence, diagonal): classic BLAST de-duplication.
+  std::map<std::pair<std::uint32_t, std::int64_t>, Hsp> best;
+
+  if (q.size() >= k) {
+    for (std::uint32_t qpos = 0; qpos + k <= q.size(); ++qpos) {
+      const auto key = index_.pack(q.data() + qpos);
+      if (!key) continue;
+      for (const SeedHit& seed : index_.lookup(*key)) {
+        const std::int64_t diagonal =
+            static_cast<std::int64_t>(seed.position) - static_cast<std::int64_t>(qpos);
+        const auto bucket = std::make_pair(seed.seq_index, diagonal);
+        const auto it = best.find(bucket);
+        // Skip seeds inside an already-extended HSP on this diagonal.
+        if (it != best.end() && qpos >= it->second.query_start &&
+            qpos + k <= it->second.query_start + it->second.length)
+          continue;
+        const Hsp h =
+            extend(q, qpos, db_[seed.seq_index].residues, seed.position, seed.seq_index);
+        if (h.score < params_.min_score) continue;
+        if (it == best.end() || h.score > it->second.score) best[bucket] = h;
+      }
+    }
+  }
+
+  std::vector<Hsp> out;
+  out.reserve(best.size());
+  for (const auto& [bucket, h] : best) out.push_back(h);
+  std::sort(out.begin(), out.end(), [](const Hsp& a, const Hsp& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.db_seq != b.db_seq) return a.db_seq < b.db_seq;
+    return a.db_start < b.db_start;
+  });
+  if (out.size() > params_.max_hits_per_query) out.resize(params_.max_hits_per_query);
+  return out;
+}
+
+std::string Aligner::report(const Sequence& query, const std::vector<Hsp>& hits) const {
+  std::ostringstream os;
+  os << "Query= " << query.id << " (" << query.residues.size() << " letters)\n";
+  os << "Database: " << db_.size() << " sequences\n\n";
+  if (hits.empty()) {
+    os << " ***** No hits found ******\n\n";
+    return os.str();
+  }
+  for (const Hsp& h : hits) {
+    const Sequence& d = db_[h.db_seq];
+    os << ">" << d.id << "\n"
+       << " Score = " << h.score << ", Length = " << h.length << "\n"
+       << " Query " << h.query_start << ".." << (h.query_start + h.length) << "  Sbjct "
+       << h.db_start << ".." << (h.db_start + h.length) << "\n";
+    // Echo the aligned query segment (keeps report sizes realistic, ~50 KB
+    // per query in aggregate, matching the §7.1 output volume knob).
+    os << " " << query.residues.substr(h.query_start, std::min<std::size_t>(h.length, 60))
+       << "\n\n";
+  }
+  return os.str();
+}
+
+}  // namespace remio::bio

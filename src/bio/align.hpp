@@ -1,0 +1,52 @@
+// Seed-and-extend local alignment in the BLAST mold: k-mer seeds from the
+// index, ungapped X-drop extension with +1/-3 scoring, HSP reporting with a
+// text report formatter (each query's report is what an MPI-BLAST worker
+// writes to its independent remote output file, ~50 KB per query in §7.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bio/kmer_index.hpp"
+
+namespace remio::bio {
+
+struct AlignParams {
+  int match_score = 1;
+  int mismatch_penalty = -3;
+  int x_drop = 16;       // stop extending after the score drops this far
+  int min_score = 18;    // report threshold
+  std::size_t max_hits_per_query = 64;
+};
+
+/// High-scoring segment pair.
+struct Hsp {
+  std::uint32_t db_seq = 0;
+  std::uint32_t query_start = 0;
+  std::uint32_t db_start = 0;
+  std::uint32_t length = 0;
+  int score = 0;
+};
+
+class Aligner {
+ public:
+  Aligner(const std::vector<Sequence>& db, const KmerIndex& index,
+          AlignParams params = {});
+
+  /// All HSPs of `query` against the database, best score first,
+  /// de-duplicated per (db_seq, diagonal).
+  std::vector<Hsp> search(const Sequence& query) const;
+
+  /// BLAST-style text report for one query (the worker's output record).
+  std::string report(const Sequence& query, const std::vector<Hsp>& hits) const;
+
+ private:
+  Hsp extend(const std::string& q, std::uint32_t qpos, const std::string& d,
+             std::uint32_t dpos, std::uint32_t db_seq) const;
+
+  const std::vector<Sequence>& db_;
+  const KmerIndex& index_;
+  AlignParams params_;
+};
+
+}  // namespace remio::bio

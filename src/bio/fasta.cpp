@@ -1,0 +1,44 @@
+#include "bio/fasta.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace remio::bio {
+
+std::vector<Sequence> parse_fasta(std::string_view text) {
+  std::vector<Sequence> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol + 1;
+
+    if (line.empty()) continue;
+    if (line.front() == '>') {
+      Sequence s;
+      s.id = std::string(line.substr(1));
+      // Trim the description after the first space, keeping just the id.
+      const auto space = s.id.find(' ');
+      if (space != std::string::npos) s.id.resize(space);
+      out.push_back(std::move(s));
+    } else {
+      if (out.empty()) throw std::runtime_error("FASTA: residues before header");
+      out.back().residues.append(line);
+    }
+  }
+  return out;
+}
+
+std::string write_fasta(const std::vector<Sequence>& seqs, std::size_t width) {
+  std::ostringstream os;
+  for (const auto& s : seqs) {
+    os << '>' << s.id << '\n';
+    for (std::size_t i = 0; i < s.residues.size(); i += width)
+      os << s.residues.substr(i, width) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace remio::bio

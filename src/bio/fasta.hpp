@@ -1,0 +1,23 @@
+// Minimal FASTA reader/writer for the BLAST-like workload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace remio::bio {
+
+struct Sequence {
+  std::string id;
+  std::string residues;  // ACGT (nucleotide) text
+};
+
+/// Parses FASTA text; tolerant of CRLF and blank lines. Throws
+/// std::runtime_error on records without a header.
+std::vector<Sequence> parse_fasta(std::string_view text);
+
+/// Renders sequences as FASTA with the given line width.
+std::string write_fasta(const std::vector<Sequence>& seqs, std::size_t width = 70);
+
+}  // namespace remio::bio

@@ -1,0 +1,44 @@
+#include "bio/kmer_index.hpp"
+
+#include <stdexcept>
+
+namespace remio::bio {
+
+std::optional<std::uint32_t> pack_base(char c) {
+  switch (c) {
+    case 'A': case 'a': return 0;
+    case 'C': case 'c': return 1;
+    case 'G': case 'g': return 2;
+    case 'T': case 't': return 3;
+    default: return std::nullopt;
+  }
+}
+
+KmerIndex::KmerIndex(const std::vector<Sequence>& db, unsigned k) : k_(k) {
+  if (k == 0 || k > 15) throw std::invalid_argument("KmerIndex: k must be 1..15");
+  for (std::uint32_t si = 0; si < db.size(); ++si) {
+    const std::string& s = db[si].residues;
+    if (s.size() < k) continue;
+    for (std::uint32_t p = 0; p + k <= s.size(); ++p) {
+      const auto key = pack(s.data() + p);
+      if (key) index_[*key].push_back(SeedHit{si, p});
+    }
+  }
+}
+
+std::optional<std::uint32_t> KmerIndex::pack(const char* s) const {
+  std::uint32_t key = 0;
+  for (unsigned i = 0; i < k_; ++i) {
+    const auto b = pack_base(s[i]);
+    if (!b) return std::nullopt;
+    key = (key << 2) | *b;
+  }
+  return key;
+}
+
+const std::vector<SeedHit>& KmerIndex::lookup(std::uint32_t key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? empty_ : it->second;
+}
+
+}  // namespace remio::bio

@@ -1,0 +1,43 @@
+// k-mer inverted index over a sequence database: the seeding stage of the
+// BLAST-like aligner. Packs k <= 15 nucleotides into 2 bits each.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bio/fasta.hpp"
+
+namespace remio::bio {
+
+/// Position of a k-mer occurrence in the database.
+struct SeedHit {
+  std::uint32_t seq_index;  // which database sequence
+  std::uint32_t position;   // offset within it
+};
+
+std::optional<std::uint32_t> pack_base(char c);
+
+class KmerIndex {
+ public:
+  /// Builds the index; skips k-mers containing non-ACGT characters.
+  KmerIndex(const std::vector<Sequence>& db, unsigned k = 11);
+
+  unsigned k() const { return k_; }
+  std::size_t distinct_kmers() const { return index_.size(); }
+
+  /// Occurrences of the packed k-mer `key` (empty span if none).
+  const std::vector<SeedHit>& lookup(std::uint32_t key) const;
+
+  /// Packs db-alphabet text starting at `s` (length k); nullopt if any
+  /// non-ACGT base intrudes.
+  std::optional<std::uint32_t> pack(const char* s) const;
+
+ private:
+  unsigned k_;
+  std::unordered_map<std::uint32_t, std::vector<SeedHit>> index_;
+  std::vector<SeedHit> empty_;
+};
+
+}  // namespace remio::bio

@@ -1,0 +1,48 @@
+#include "bio/synth.hpp"
+
+namespace remio::bio {
+
+namespace {
+constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+}
+
+EstGenerator::EstGenerator(const SynthConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  genome_.resize(cfg_.genome_length);
+  for (auto& c : genome_) c = kBases[rng_.below(4)];
+}
+
+char EstGenerator::random_base() { return kBases[rng_.below(4)]; }
+
+std::vector<Sequence> EstGenerator::sample(std::size_t count,
+                                           const std::string& id_prefix) {
+  std::vector<Sequence> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t len = static_cast<std::size_t>(
+        rng_.range(static_cast<std::int64_t>(cfg_.est_min_length),
+                   static_cast<std::int64_t>(cfg_.est_max_length)));
+    const std::size_t max_start = genome_.size() > len ? genome_.size() - len : 0;
+    const std::size_t start = max_start > 0 ? rng_.below(max_start) : 0;
+
+    Sequence s;
+    s.id = id_prefix + std::to_string(next_id_++);
+    s.residues = genome_.substr(start, len);
+    for (auto& c : s.residues)
+      if (rng_.chance(cfg_.mutation_rate)) c = random_base();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string EstGenerator::nucleotide_text(std::size_t bytes) {
+  std::string out;
+  out.reserve(bytes + 1024);
+  while (out.size() < bytes) {
+    const auto batch = sample(16, "frag");
+    out += write_fasta(batch);
+  }
+  out.resize(bytes);
+  return out;
+}
+
+}  // namespace remio::bio

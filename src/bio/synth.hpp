@@ -1,0 +1,55 @@
+// Synthetic human-EST-like data (substitute for the paper's GenBank UCSC
+// subset, which we cannot ship). Two properties matter and are both
+// reproduced: (1) ESTs are expressed-sequence fragments with heavy shared
+// subsequence content, so the generator seeds a "genome" and samples
+// overlapping, lightly mutated fragments — giving LZ-family codecs the
+// ~2x ratio the §7.3 compression experiment depends on; (2) queries drawn
+// from the same genome align against the database, giving the BLAST phase
+// real hits to extend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/fasta.hpp"
+#include "common/rng.hpp"
+
+namespace remio::bio {
+
+struct SynthConfig {
+  std::uint64_t seed = 42;
+  std::size_t genome_length = 1 << 20;
+  std::size_t est_count = 1000;
+  std::size_t est_min_length = 200;
+  std::size_t est_max_length = 800;
+  double mutation_rate = 0.01;  // per-base substitution when sampling
+};
+
+/// Deterministic (seeded) synthetic EST database.
+class EstGenerator {
+ public:
+  explicit EstGenerator(const SynthConfig& cfg);
+
+  /// The underlying genome (useful for planting exact matches in tests).
+  const std::string& genome() const { return genome_; }
+
+  /// Samples `count` ESTs (fragment + mutations), ids "est<N>".
+  std::vector<Sequence> sample(std::size_t count, const std::string& id_prefix = "est");
+
+  /// Whole database per the config.
+  std::vector<Sequence> database() { return sample(cfg_.est_count); }
+
+  /// Raw nucleotide text of roughly `bytes` size (for the §7.3 100 MB-class
+  /// compression input), FASTA-formatted.
+  std::string nucleotide_text(std::size_t bytes);
+
+ private:
+  char random_base();
+
+  SynthConfig cfg_;
+  Rng rng_;
+  std::string genome_;
+  std::size_t next_id_ = 0;
+};
+
+}  // namespace remio::bio

@@ -1,0 +1,51 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace remio {
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{[]() {
+    const char* env = std::getenv("REMIO_LOG");
+    if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
+    if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::kError);
+    if (std::strcmp(env, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+    if (std::strcmp(env, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+    if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+    if (std::strcmp(env, "trace") == 0) return static_cast<int>(LogLevel::kTrace);
+    return static_cast<int>(LogLevel::kWarn);
+  }()};
+  return level;
+}
+
+const char* level_name(LogLevel lv) {
+  switch (lv) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel lv) { level_storage().store(static_cast<int>(lv), std::memory_order_relaxed); }
+
+bool log_enabled(LogLevel lv) { return static_cast<int>(lv) <= level_storage().load(std::memory_order_relaxed); }
+
+void log_write(LogLevel lv, const std::string& msg) {
+  static std::mutex mu;
+  std::lock_guard lk(mu);
+  std::fprintf(stderr, "[remio %s] %s\n", level_name(lv), msg.c_str());
+}
+
+}  // namespace remio

@@ -1,0 +1,40 @@
+// Minimal thread-safe leveled logger. Level comes from REMIO_LOG
+// (error|warn|info|debug|trace); default is warn so tests and benches stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace remio {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel lv);
+bool log_enabled(LogLevel lv);
+void log_write(LogLevel lv, const std::string& msg);
+
+namespace detail {
+inline void log_cat(std::ostringstream&) {}
+template <class T, class... Rest>
+void log_cat(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  log_cat(os, rest...);
+}
+}  // namespace detail
+
+template <class... Args>
+void log(LogLevel lv, const Args&... args) {
+  if (!log_enabled(lv)) return;
+  std::ostringstream os;
+  detail::log_cat(os, args...);
+  log_write(lv, os.str());
+}
+
+#define REMIO_LOG_ERROR(...) ::remio::log(::remio::LogLevel::kError, __VA_ARGS__)
+#define REMIO_LOG_WARN(...) ::remio::log(::remio::LogLevel::kWarn, __VA_ARGS__)
+#define REMIO_LOG_INFO(...) ::remio::log(::remio::LogLevel::kInfo, __VA_ARGS__)
+#define REMIO_LOG_DEBUG(...) ::remio::log(::remio::LogLevel::kDebug, __VA_ARGS__)
+#define REMIO_LOG_TRACE(...) ::remio::log(::remio::LogLevel::kTrace, __VA_ARGS__)
+
+}  // namespace remio

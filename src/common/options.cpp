@@ -1,0 +1,75 @@
+#include "common/options.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace remio {
+
+Options Options::parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      o.positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      o.kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      o.kv_[arg] = argv[++i];
+    } else {
+      o.kv_[arg] = "1";
+    }
+  }
+  return o;
+}
+
+std::string Options::get(const std::string& key, const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+long long Options::get_int(const std::string& key, long long def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::atoll(it->second.c_str());
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::atof(it->second.c_str());
+}
+
+bool Options::get_bool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+std::vector<int> Options::get_int_list(const std::string& key, std::vector<int> def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::vector<int> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::atoi(tok.c_str()));
+  }
+  return out;
+}
+
+std::vector<std::string> Options::get_list(const std::string& key,
+                                           std::vector<std::string> def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::vector<std::string> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+}  // namespace remio

@@ -1,0 +1,34 @@
+// Tiny --key=value command-line parser for the bench/example binaries.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace remio {
+
+class Options {
+ public:
+  Options() = default;
+  /// Accepts "--key=value", "--key value" and bare "--flag" (=> "1").
+  static Options parse(int argc, char** argv);
+
+  bool has(const std::string& key) const { return kv_.count(key) != 0; }
+  std::string get(const std::string& key, const std::string& def = "") const;
+  long long get_int(const std::string& key, long long def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+  /// Comma-separated integer list, e.g. --procs=2,4,8.
+  std::vector<int> get_int_list(const std::string& key, std::vector<int> def) const;
+  /// Comma-separated string list.
+  std::vector<std::string> get_list(const std::string& key,
+                                    std::vector<std::string> def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace remio

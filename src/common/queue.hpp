@@ -1,0 +1,90 @@
+// Bounded MPMC blocking queue. This is the I/O queue of the paper's Fig. 2:
+// the compute thread enqueues requests, I/O threads dequeue in FIFO order and
+// suspend on a condition variable when the queue is empty (no busy wait, §4.3).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace remio {
+
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity = SIZE_MAX) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full. Returns false if the queue was closed.
+  bool push(T v) {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+    if (closed_) return false;
+    q_.push_back(std::move(v));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; fails when full or closed.
+  bool try_push(T v) {
+    std::lock_guard lk(mu_);
+    if (closed_ || q_.size() >= capacity_) return false;
+    q_.push_back(std::move(v));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Empty optional means closed-and-drained.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard lk(mu_);
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// After close(), pushes fail and pops drain the remaining items then
+  /// return nullopt. Idempotent.
+  void close() {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return q_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace remio

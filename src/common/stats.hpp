@@ -1,0 +1,46 @@
+// Online and batch statistics used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace remio {
+
+/// Welford online mean/variance; O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch sample set with percentiles (linear interpolation).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  double stddev() const;
+  double percentile(double p) const;  // p in [0,100]
+  double median() const { return percentile(50.0); }
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(100.0); }
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace remio

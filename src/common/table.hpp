@@ -1,0 +1,28 @@
+// Plain-text table / CSV printer used by the figure-reproduction harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace remio {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Aligned fixed-width text rendering.
+  std::string to_text() const;
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace remio

@@ -1,0 +1,67 @@
+// Codec interface for on-the-fly compression (§7.3). The paper used LZO;
+// `lzmini` below is a from-scratch member of the same family (greedy
+// hash-chain LZ77 with a byte-oriented token format, favouring speed over
+// ratio). `rle` and `null` exist for ablations and as baselines.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace remio::compress {
+
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Worst-case compressed size for n input bytes.
+  virtual std::size_t max_compressed_size(std::size_t n) const = 0;
+
+  /// Compresses `in` appending to `out`; returns bytes appended.
+  virtual std::size_t compress(ByteSpan in, Bytes& out) const = 0;
+
+  /// Decompresses `in` (one compress() output) appending to `out`.
+  /// `expected` is the original size (known from the frame header).
+  /// Throws CodecError on malformed input.
+  virtual void decompress(ByteSpan in, Bytes& out, std::size_t expected) const = 0;
+};
+
+class LzMiniCodec final : public Codec {
+ public:
+  std::string name() const override { return "lzmini"; }
+  std::size_t max_compressed_size(std::size_t n) const override;
+  std::size_t compress(ByteSpan in, Bytes& out) const override;
+  void decompress(ByteSpan in, Bytes& out, std::size_t expected) const override;
+};
+
+class RleCodec final : public Codec {
+ public:
+  std::string name() const override { return "rle"; }
+  std::size_t max_compressed_size(std::size_t n) const override;
+  std::size_t compress(ByteSpan in, Bytes& out) const override;
+  void decompress(ByteSpan in, Bytes& out, std::size_t expected) const override;
+};
+
+class NullCodec final : public Codec {
+ public:
+  std::string name() const override { return "null"; }
+  std::size_t max_compressed_size(std::size_t n) const override;
+  std::size_t compress(ByteSpan in, Bytes& out) const override;
+  void decompress(ByteSpan in, Bytes& out, std::size_t expected) const override;
+};
+
+/// Looks up a codec by name ("lzmini", "rle", "null"); throws CodecError
+/// for unknown names. Returned pointer is owned by the registry (static
+/// storage, thread-safe to share).
+const Codec& codec_by_name(const std::string& name);
+
+}  // namespace remio::compress

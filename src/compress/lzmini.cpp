@@ -1,0 +1,176 @@
+// lzmini: greedy LZ77 with a 4-byte hash table and LZ4/LZO-style tokens.
+//
+// Stream grammar (little-endian):
+//   sequence := token [lit_ext*] literals [offset:u16 [match_ext*]]
+//   token    := (lit_len:4 | match_len:4)
+// lit_len 15 means "add following 255-run extension bytes"; match length is
+// stored minus the 4-byte minimum, 15 likewise extended. The final sequence
+// carries literals only (stream ends after them). Offsets are 1..65535.
+#include <cstring>
+
+#include "compress/codec.hpp"
+
+namespace remio::compress {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+// The match *finder* seeds on 8 bytes: low-entropy inputs (nucleotide text
+// has a 4-letter alphabet) have so few distinct 4-mers that a 4-byte seed
+// only ever finds the immediately preceding occurrence. The token format
+// still encodes any match >= kMinMatch.
+constexpr std::size_t kSeedLen = 8;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr int kHashBits = 16;
+
+std::uint32_t load32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+std::uint64_t load64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+std::uint32_t hash8(std::uint64_t v) {
+  return static_cast<std::uint32_t>((v * 0x9e3779b185ebca87ULL) >> (64 - kHashBits));
+}
+
+void write_len_ext(Bytes& out, std::size_t extra) {
+  while (extra >= 255) {
+    out.push_back(static_cast<char>(0xff));
+    extra -= 255;
+  }
+  out.push_back(static_cast<char>(extra));
+}
+
+void emit_sequence(Bytes& out, const char* lit, std::size_t lit_len,
+                   std::size_t offset, std::size_t match_len) {
+  const std::size_t lit_nib = lit_len < 15 ? lit_len : 15;
+  std::size_t match_nib = 0;
+  if (match_len >= kMinMatch) {
+    const std::size_t stored = match_len - kMinMatch;
+    match_nib = stored < 15 ? stored : 15;
+  }
+  out.push_back(static_cast<char>((lit_nib << 4) | match_nib));
+  if (lit_nib == 15) write_len_ext(out, lit_len - 15);
+  out.insert(out.end(), lit, lit + lit_len);
+  if (match_len >= kMinMatch) {
+    out.push_back(static_cast<char>(offset & 0xff));
+    out.push_back(static_cast<char>((offset >> 8) & 0xff));
+    if (match_nib == 15) write_len_ext(out, match_len - kMinMatch - 15);
+  }
+}
+
+}  // namespace
+
+std::size_t LzMiniCodec::max_compressed_size(std::size_t n) const {
+  return n + n / 255 + 16;
+}
+
+std::size_t LzMiniCodec::compress(ByteSpan in, Bytes& out) const {
+  const std::size_t start_size = out.size();
+  const char* base = in.data();
+  const std::size_t n = in.size();
+
+  if (n < kSeedLen + 1) {
+    if (n > 0) emit_sequence(out, base, n, 0, 0);
+    else out.push_back(0);  // empty input: token with zero literals
+    return out.size() - start_size;
+  }
+
+  std::vector<std::int32_t> table(std::size_t{1} << kHashBits, -1);
+  std::size_t pos = 0;
+  std::size_t lit_start = 0;
+  // Stop matching a few bytes early so final-literal handling is simple.
+  const std::size_t match_limit = n - kSeedLen;
+
+  while (pos <= match_limit) {
+    const std::uint32_t h = hash8(load64(base + pos));
+    const std::int32_t cand = table[h];
+    table[h] = static_cast<std::int32_t>(pos);
+
+    if (cand >= 0 && pos - static_cast<std::size_t>(cand) <= kMaxOffset &&
+        load64(base + cand) == load64(base + pos)) {
+      // Extend the match forward.
+      std::size_t len = kSeedLen;
+      const std::size_t max_len = n - pos;
+      while (len < max_len && base[cand + len] == base[pos + len]) ++len;
+
+      emit_sequence(out, base + lit_start, pos - lit_start,
+                    pos - static_cast<std::size_t>(cand), len);
+
+      // Index a couple of positions inside the match to keep ratio decent.
+      const std::size_t end = pos + len;
+      for (std::size_t p = pos + 1; p < end && p <= match_limit; p += 2)
+        table[hash8(load64(base + p))] = static_cast<std::int32_t>(p);
+
+      pos = end;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+
+  // Trailing literals (possibly empty -> still emit a terminator token so
+  // the decoder sees a well-formed final sequence).
+  emit_sequence(out, base + lit_start, n - lit_start, 0, 0);
+  return out.size() - start_size;
+}
+
+void LzMiniCodec::decompress(ByteSpan in, Bytes& out, std::size_t expected) const {
+  const std::size_t start_size = out.size();
+  std::size_t ip = 0;
+  const std::size_t in_n = in.size();
+
+  auto read_ext = [&](std::size_t base_len) -> std::size_t {
+    std::size_t len = base_len;
+    for (;;) {
+      if (ip >= in_n) throw CodecError("lzmini: truncated length extension");
+      const auto b = static_cast<unsigned char>(in[ip++]);
+      len += b;
+      if (b != 255) return len;
+    }
+  };
+
+  while (ip < in_n) {
+    const auto token = static_cast<unsigned char>(in[ip++]);
+    std::size_t lit_len = token >> 4;
+    if (lit_len == 15) lit_len = read_ext(15);
+
+    if (lit_len > in_n - ip) throw CodecError("lzmini: literal overrun");
+    if (out.size() - start_size + lit_len > expected)
+      throw CodecError("lzmini: output exceeds declared size");
+    out.insert(out.end(), in.data() + ip, in.data() + ip + lit_len);
+    ip += lit_len;
+
+    if (ip >= in_n) break;  // final sequence: literals only
+
+    if (ip + 2 > in_n) throw CodecError("lzmini: truncated offset");
+    const std::size_t offset = static_cast<unsigned char>(in[ip]) |
+                               (static_cast<std::size_t>(static_cast<unsigned char>(in[ip + 1])) << 8);
+    ip += 2;
+    if (offset == 0) throw CodecError("lzmini: zero match offset");
+
+    std::size_t match_len = (token & 0x0f) + kMinMatch;
+    if ((token & 0x0f) == 15) match_len = read_ext(15 + kMinMatch);
+
+    const std::size_t produced = out.size() - start_size;
+    if (offset > produced) throw CodecError("lzmini: offset beyond output");
+    if (produced + match_len > expected)
+      throw CodecError("lzmini: output exceeds declared size");
+
+    // Byte-by-byte copy: overlapping matches (offset < match_len) are the
+    // RLE-style case and must replicate progressively.
+    std::size_t src = out.size() - offset;
+    out.reserve(out.size() + match_len);
+    for (std::size_t i = 0; i < match_len; ++i) out.push_back(out[src + i]);
+  }
+
+  if (out.size() - start_size != expected)
+    throw CodecError("lzmini: output size mismatch");
+}
+
+}  // namespace remio::compress

@@ -1,0 +1,19 @@
+// Identity codec: lets every compression code path run with shaping
+// unchanged, isolating pipeline overhead in ablations.
+#include "compress/codec.hpp"
+
+namespace remio::compress {
+
+std::size_t NullCodec::max_compressed_size(std::size_t n) const { return n; }
+
+std::size_t NullCodec::compress(ByteSpan in, Bytes& out) const {
+  out.insert(out.end(), in.begin(), in.end());
+  return in.size();
+}
+
+void NullCodec::decompress(ByteSpan in, Bytes& out, std::size_t expected) const {
+  if (in.size() != expected) throw CodecError("null: size mismatch");
+  out.insert(out.end(), in.begin(), in.end());
+}
+
+}  // namespace remio::compress

@@ -1,0 +1,15 @@
+#include "compress/codec.hpp"
+
+namespace remio::compress {
+
+const Codec& codec_by_name(const std::string& name) {
+  static const LzMiniCodec lz;
+  static const RleCodec rle;
+  static const NullCodec null;
+  if (name == "lzmini") return lz;
+  if (name == "rle") return rle;
+  if (name == "null") return null;
+  throw CodecError("unknown codec: " + name);
+}
+
+}  // namespace remio::compress

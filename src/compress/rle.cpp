@@ -1,0 +1,35 @@
+// Byte-level run-length codec: [count:u8 >=1][byte] pairs. Kept as an
+// ablation baseline — near-zero CPU cost, poor ratio on non-repetitive data.
+#include "compress/codec.hpp"
+
+namespace remio::compress {
+
+std::size_t RleCodec::max_compressed_size(std::size_t n) const { return 2 * n + 2; }
+
+std::size_t RleCodec::compress(ByteSpan in, Bytes& out) const {
+  const std::size_t start = out.size();
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const char b = in[i];
+    std::size_t run = 1;
+    while (run < 255 && i + run < in.size() && in[i + run] == b) ++run;
+    out.push_back(static_cast<char>(run));
+    out.push_back(b);
+    i += run;
+  }
+  return out.size() - start;
+}
+
+void RleCodec::decompress(ByteSpan in, Bytes& out, std::size_t expected) const {
+  if (in.size() % 2 != 0) throw CodecError("rle: odd input length");
+  const std::size_t start = out.size();
+  for (std::size_t i = 0; i < in.size(); i += 2) {
+    const auto run = static_cast<unsigned char>(in[i]);
+    if (run == 0) throw CodecError("rle: zero run length");
+    out.insert(out.end(), run, in[i + 1]);
+    if (out.size() - start > expected) throw CodecError("rle: output exceeds declared size");
+  }
+  if (out.size() - start != expected) throw CodecError("rle: output size mismatch");
+}
+
+}  // namespace remio::compress

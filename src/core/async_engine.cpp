@@ -1,0 +1,84 @@
+#include "core/async_engine.hpp"
+
+#include <stdexcept>
+
+#include "simnet/timescale.hpp"
+
+namespace remio::semplar {
+
+AsyncEngine::AsyncEngine(int threads, std::size_t queue_capacity, bool lazy_spawn,
+                         Stats* stats)
+    : threads_requested_(threads),
+      lazy_(lazy_spawn),
+      stats_(stats),
+      queue_(queue_capacity) {
+  if (threads < 1) throw std::invalid_argument("AsyncEngine: threads < 1");
+  if (lazy_spawn && threads != 1)
+    throw std::invalid_argument("AsyncEngine: lazy spawn implies one thread");
+  if (!lazy_spawn) ensure_spawned();
+}
+
+AsyncEngine::~AsyncEngine() { shutdown(); }
+
+void AsyncEngine::ensure_spawned() {
+  std::call_once(spawn_once_, [this] {
+    workers_.reserve(static_cast<std::size_t>(threads_requested_));
+    for (int i = 0; i < threads_requested_; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  });
+}
+
+void AsyncEngine::worker_loop() {
+  while (auto item = queue_.pop()) {
+    const double t0 = simnet::sim_now();
+    try {
+      const std::size_t n = item->task();
+      mpiio::IoRequest::complete(item->state, n);
+    } catch (...) {
+      mpiio::IoRequest::fail(item->state, std::current_exception());
+    }
+    if (stats_ != nullptr) stats_->add_busy(simnet::sim_now() - t0);
+    task_done();
+  }
+}
+
+void AsyncEngine::task_done() {
+  std::lock_guard lk(pending_mu_);
+  --pending_;
+  if (pending_ == 0) pending_cv_.notify_all();
+}
+
+mpiio::IoRequest AsyncEngine::submit(Task task) {
+  ensure_spawned();  // §4.3: first asynchronous call spawns the I/O thread
+  mpiio::IoRequest req = mpiio::IoRequest::make();
+  if (stats_ != nullptr) {
+    stats_->add_task();
+    stats_->note_queue_depth(queue_.size() + 1);
+  }
+  {
+    std::lock_guard lk(pending_mu_);
+    ++pending_;
+  }
+  Item item{std::move(task), req.state()};
+  if (!queue_.push(std::move(item))) {
+    task_done();
+    mpiio::IoRequest::fail(req.state(),
+                           std::make_exception_ptr(mpiio::IoError("engine shut down")));
+  }
+  return req;
+}
+
+void AsyncEngine::drain() {
+  std::unique_lock lk(pending_mu_);
+  pending_cv_.wait(lk, [&] { return pending_ == 0; });
+}
+
+void AsyncEngine::shutdown() {
+  std::lock_guard lk(lifecycle_mu_);
+  if (shut_down_) return;
+  shut_down_ = true;
+  queue_.close();  // workers drain the remaining items, then exit
+  for (auto& w : workers_) w.join();
+}
+
+}  // namespace remio::semplar

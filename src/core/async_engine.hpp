@@ -1,0 +1,71 @@
+// The multi-threaded asynchronous core of SEMPLAR (Fig. 2 / §4.2–4.3):
+// a FIFO I/O queue shared between the compute thread (producer) and one or
+// more dedicated I/O threads (consumers). I/O threads suspend on the
+// queue's condition variable when idle; the compute thread's enqueue
+// signals them — no busy waiting. In lazy mode the single I/O thread is
+// spawned by the first asynchronous call; in pre-spawned mode the pool is
+// created up front (the §7.2 configuration, ideally one thread per TCP
+// stream).
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "core/stats.hpp"
+#include "mpiio/request.hpp"
+
+namespace remio::semplar {
+
+class AsyncEngine {
+ public:
+  /// A task performs one synchronous I/O call and returns bytes moved.
+  using Task = std::function<std::size_t()>;
+
+  /// threads >= 1. If lazy_spawn, threads must be 1 and the thread starts
+  /// on the first submit().
+  AsyncEngine(int threads, std::size_t queue_capacity, bool lazy_spawn,
+              Stats* stats = nullptr);
+  ~AsyncEngine();
+
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
+
+  /// Enqueues FIFO; returns the completion handle (MPIO_Wait/Test on it).
+  mpiio::IoRequest submit(Task task);
+
+  /// Blocks until everything enqueued so far has completed.
+  void drain();
+
+  /// Stops accepting work, drains, joins. Idempotent; called by dtor.
+  void shutdown();
+
+  int thread_count() const { return threads_requested_; }
+
+ private:
+  struct Item {
+    Task task;
+    std::shared_ptr<mpiio::IoRequest::State> state;
+  };
+
+  void ensure_spawned();
+  void worker_loop();
+  void task_done();
+
+  const int threads_requested_;
+  const bool lazy_;
+  Stats* stats_;
+  BoundedQueue<Item> queue_;
+  std::vector<std::thread> workers_;
+  std::once_flag spawn_once_;
+  std::mutex lifecycle_mu_;
+  bool shut_down_ = false;
+
+  // Outstanding (queued or running) task count, for drain().
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace remio::semplar

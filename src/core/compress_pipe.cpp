@@ -1,0 +1,131 @@
+#include "core/compress_pipe.hpp"
+
+#include "simnet/timescale.hpp"
+
+namespace remio::semplar {
+
+CompressPipe::CompressPipe(mpiio::adio::FileHandle& file,
+                           const compress::Codec& codec, std::uint64_t base_offset)
+    : file_(file), codec_(codec), next_offset_(base_offset) {
+  compressor_ = std::thread([this] { loop(); });
+}
+
+CompressPipe::~CompressPipe() {
+  try {
+    finish();
+  } catch (...) {
+    // finish() errors surface on the per-block requests; nothing to add here.
+  }
+}
+
+mpiio::IoRequest CompressPipe::write(ByteSpan block) {
+  mpiio::IoRequest req = mpiio::IoRequest::make();
+  Item item;
+  item.block.assign(block.begin(), block.end());
+  item.state = req.state();
+  if (!queue_.push(std::move(item)))
+    mpiio::IoRequest::fail(req.state(),
+                           std::make_exception_ptr(mpiio::IoError("pipe finished")));
+  return req;
+}
+
+void CompressPipe::loop() {
+  // Frames are kept alive until their async write completes: the write path
+  // does not copy (§4.3 zero-copy threads), so the previous frame's buffer
+  // must persist while the *next* block is being compressed — that is the
+  // two-stage pipeline.
+  std::shared_ptr<Bytes> in_flight_frame;
+  mpiio::IoRequest in_flight_req;
+  std::shared_ptr<mpiio::IoRequest::State> in_flight_state;
+
+  auto settle_in_flight = [&] {
+    if (!in_flight_req.valid()) return;
+    try {
+      const std::size_t n = in_flight_req.wait();
+      mpiio::IoRequest::complete(in_flight_state, n);
+    } catch (...) {
+      mpiio::IoRequest::fail(in_flight_state, std::current_exception());
+    }
+    in_flight_req = mpiio::IoRequest();
+    in_flight_frame.reset();
+  };
+
+  while (auto item = queue_.pop()) {
+    auto frame = std::make_shared<Bytes>();
+    const double t0 = simnet::sim_now();
+    try {
+      compress::encode_frame(codec_, ByteSpan(item->block.data(), item->block.size()),
+                             *frame);
+    } catch (...) {
+      mpiio::IoRequest::fail(item->state, std::current_exception());
+      continue;
+    }
+    const double compress_time = simnet::sim_now() - t0;
+
+    // Block i is now compressed; only here do we require block i-1's
+    // transmission to have finished (pipeline depth 1, like the paper).
+    settle_in_flight();
+
+    std::uint64_t offset;
+    {
+      std::lock_guard lk(stats_mu_);
+      stats_.raw_bytes += item->block.size();
+      stats_.wire_bytes += frame->size();
+      stats_.blocks += 1;
+      stats_.compress_sim_seconds += compress_time;
+      offset = next_offset_;
+      next_offset_ += frame->size();
+    }
+
+    in_flight_frame = frame;
+    in_flight_state = item->state;
+    try {
+      in_flight_req = file_.supports_async()
+                          ? file_.iwrite_at(offset, ByteSpan(frame->data(), frame->size()))
+                          : mpiio::IoRequest();
+      if (!in_flight_req.valid()) {
+        // Synchronous fallback (driver without async): write inline.
+        const std::size_t n = file_.write_at(offset, ByteSpan(frame->data(), frame->size()));
+        mpiio::IoRequest::complete(item->state, n);
+        in_flight_frame.reset();
+        in_flight_state.reset();
+      }
+    } catch (...) {
+      mpiio::IoRequest::fail(item->state, std::current_exception());
+      in_flight_req = mpiio::IoRequest();
+      in_flight_frame.reset();
+      in_flight_state.reset();
+    }
+  }
+  settle_in_flight();
+}
+
+void CompressPipe::finish() {
+  {
+    std::lock_guard lk(stats_mu_);
+    if (finished_) return;
+    finished_ = true;
+  }
+  queue_.close();
+  if (compressor_.joinable()) compressor_.join();
+}
+
+CompressPipeStats CompressPipe::stats() const {
+  std::lock_guard lk(stats_mu_);
+  return stats_;
+}
+
+Bytes read_all_decompressed(mpiio::adio::FileHandle& file) {
+  const std::uint64_t n = file.size();
+  Bytes raw(n);
+  std::size_t got = 0;
+  while (got < raw.size()) {
+    const std::size_t r =
+        file.read_at(got, MutByteSpan(raw.data() + got, raw.size() - got));
+    if (r == 0) throw mpiio::IoError("read_all_decompressed: short object");
+    got += r;
+  }
+  return compress::decode_frame_stream(ByteSpan(raw.data(), raw.size()));
+}
+
+}  // namespace remio::semplar

@@ -1,0 +1,24 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+namespace remio::semplar {
+
+void validate(const Config& cfg) {
+  if (cfg.client_host.empty())
+    throw std::invalid_argument("semplar::Config: client_host is empty");
+  if (cfg.server_host.empty())
+    throw std::invalid_argument("semplar::Config: server_host is empty");
+  if (cfg.streams_per_node < 1)
+    throw std::invalid_argument("semplar::Config: streams_per_node must be >= 1");
+  if (cfg.streams_per_node > 64)
+    throw std::invalid_argument("semplar::Config: streams_per_node > 64");
+  if (cfg.io_threads < 0 || cfg.io_threads > 256)
+    throw std::invalid_argument("semplar::Config: io_threads out of range");
+  // stripe_size: any value is legal; Config::kAutoStripe (0) selects the
+  // contiguous even split.
+  if (cfg.queue_capacity == 0)
+    throw std::invalid_argument("semplar::Config: queue_capacity must be > 0");
+}
+
+}  // namespace remio::semplar

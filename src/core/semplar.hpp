@@ -1,0 +1,22 @@
+// Umbrella header for SEMPLAR, the library this repository reproduces:
+// an SRB-backed ADIO driver with multi-threaded asynchronous remote I/O,
+// multi-stream striping, and pipelined on-the-fly compression.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   remio::semplar::Config cfg;
+//   cfg.client_host = "node0";
+//   remio::semplar::SrbfsDriver driver(fabric, cfg);
+//   remio::mpiio::File f(driver, "/home/demo/data", kModeRead | kModeWrite | kModeCreate);
+//   auto req = f.iwrite_at(0, buffer);         // MPI_File_iwrite
+//   ... compute ...
+//   remio::semplar::MPIO_Wait(req);
+#pragma once
+
+#include "core/async_engine.hpp"
+#include "core/compress_pipe.hpp"
+#include "core/config.hpp"
+#include "core/srbfs.hpp"
+#include "core/stats.hpp"
+#include "core/stream_pool.hpp"
+#include "mpiio/file.hpp"

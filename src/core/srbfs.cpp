@@ -1,0 +1,244 @@
+#include "core/srbfs.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace remio::semplar {
+
+// ---------------------------------------------------------------------------
+// SemplarFile
+// ---------------------------------------------------------------------------
+
+SemplarFile::SemplarFile(simnet::Fabric& fabric, const Config& cfg,
+                         const std::string& path, std::uint32_t mode)
+    : cfg_(cfg) {
+  std::uint32_t srb_flags = 0;
+  if (mode & mpiio::kModeRead) srb_flags |= srb::kRead;
+  if (mode & mpiio::kModeWrite) srb_flags |= srb::kWrite;
+  if (mode & mpiio::kModeCreate) srb_flags |= srb::kCreate;
+  if (mode & mpiio::kModeTrunc) srb_flags |= srb::kTrunc;
+
+  streams_ = std::make_unique<StreamPool>(fabric, cfg_, path, srb_flags);
+  // §4.3: by default one I/O thread spawned lazily on the first async call;
+  // pre-spawned pool when io_threads >= 1 is requested explicitly.
+  engine_ = std::make_unique<AsyncEngine>(cfg_.effective_io_threads(),
+                                          cfg_.queue_capacity, cfg_.lazy_spawn(),
+                                          &stats_);
+}
+
+SemplarFile::~SemplarFile() {
+  engine_->shutdown();  // complete queued I/O before tearing down streams
+  streams_->close();
+}
+
+std::size_t SemplarFile::read_at(std::uint64_t offset, MutByteSpan out) {
+  stats_.add_sync();
+  const std::size_t n = streams_->pread(0, out, offset);
+  stats_.add_read(n);
+  return n;
+}
+
+std::size_t SemplarFile::write_at(std::uint64_t offset, ByteSpan data) {
+  stats_.add_sync();
+  const std::size_t n = streams_->pwrite(0, data, offset);
+  stats_.add_write(n);
+  return n;
+}
+
+std::uint64_t SemplarFile::size() {
+  engine_->drain();  // size must reflect completed queued writes
+  return streams_->stat_size();
+}
+
+void SemplarFile::flush() { engine_->drain(); }
+
+namespace {
+
+/// Shared completion record for a striped request: the master request
+/// completes when the last per-stream task finishes.
+struct StripeJoin {
+  std::shared_ptr<mpiio::IoRequest::State> master;
+  std::atomic<int> remaining{0};
+  std::atomic<std::size_t> bytes{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  void finish_one() {
+    if (remaining.fetch_sub(1) != 1) return;
+    std::exception_ptr err;
+    {
+      std::lock_guard lk(error_mu);
+      err = first_error;
+    }
+    if (err)
+      mpiio::IoRequest::fail(master, err);
+    else
+      mpiio::IoRequest::complete(master, bytes.load());
+  }
+
+  void record_error(std::exception_ptr e) {
+    std::lock_guard lk(error_mu);
+    if (!first_error) first_error = std::move(e);
+  }
+};
+
+}  // namespace
+
+template <bool IsWrite, class Span>
+mpiio::IoRequest SemplarFile::submit_striped(std::uint64_t offset, Span data) {
+  mpiio::IoRequest master = mpiio::IoRequest::make();
+  const int stream_count = streams_->count();
+  const std::size_t n = data.size();
+  // Auto mode: one contiguous range per stream (a single broker round trip
+  // each). Explicit mode: round-robin stripe_size chunks.
+  const std::size_t stripe =
+      cfg_.stripe_size != Config::kAutoStripe
+          ? cfg_.stripe_size
+          : std::max<std::size_t>(
+                1, (n + static_cast<std::size_t>(stream_count) - 1) /
+                       static_cast<std::size_t>(stream_count));
+
+  // Streams that actually carry chunks for this request.
+  int active = stream_count;
+  if (n == 0) {
+    active = 1;
+  } else {
+    const auto chunks = static_cast<int>((n + stripe - 1) / stripe);
+    if (chunks < active) active = chunks;
+  }
+
+  auto join = std::make_shared<StripeJoin>();
+  join->master = master.state();
+  join->remaining.store(active);
+
+  for (int s = 0; s < active; ++s) {
+    engine_->submit([this, join, s, stream_count, stripe, offset, data] {
+      try {
+        std::size_t moved = 0;
+        for (std::size_t start = static_cast<std::size_t>(s) * stripe;
+             start < data.size();
+             start += static_cast<std::size_t>(stream_count) * stripe) {
+          const std::size_t len = std::min(stripe, data.size() - start);
+          if constexpr (IsWrite) {
+            moved += streams_->pwrite(s, data.subspan(start, len), offset + start);
+          } else {
+            moved += streams_->pread(s, data.subspan(start, len), offset + start);
+          }
+        }
+        join->bytes.fetch_add(moved);
+        if constexpr (IsWrite) {
+          stats_.add_write(moved);
+        } else {
+          stats_.add_read(moved);
+        }
+      } catch (...) {
+        join->record_error(std::current_exception());
+      }
+      join->finish_one();
+      return std::size_t{0};
+    });
+  }
+  return master;
+}
+
+mpiio::IoRequest SemplarFile::iread_at(std::uint64_t offset, MutByteSpan out) {
+  return submit_striped<false>(offset, out);
+}
+
+namespace {
+
+/// Shared state of a redundant read: first completion wins and publishes
+/// into the caller's buffer; every task owns a scratch buffer so losers
+/// never race on `out`.
+struct RedundantJoin {
+  std::shared_ptr<mpiio::IoRequest::State> master;
+  MutByteSpan out;
+  std::mutex mu;
+  bool won = false;
+  int remaining = 0;
+  std::exception_ptr last_error;
+
+  /// Returns true if this task is the winner.
+  bool finish_one(const Bytes* scratch, std::size_t n, std::exception_ptr err) {
+    std::unique_lock lk(mu);
+    --remaining;
+    if (err) {
+      last_error = std::move(err);
+      if (remaining == 0 && !won) {
+        // Every stream failed: surface the last error.
+        lk.unlock();
+        mpiio::IoRequest::fail(master, last_error);
+      }
+      return false;
+    }
+    if (won) return false;
+    won = true;
+    std::copy_n(scratch->data(), std::min(n, out.size()), out.data());
+    lk.unlock();
+    mpiio::IoRequest::complete(master, n);
+    return true;
+  }
+};
+
+}  // namespace
+
+mpiio::IoRequest SemplarFile::iread_redundant(std::uint64_t offset, MutByteSpan out) {
+  mpiio::IoRequest master = mpiio::IoRequest::make();
+  const int stream_count = streams_->count();
+
+  auto join = std::make_shared<RedundantJoin>();
+  join->master = master.state();
+  join->out = out;
+  join->remaining = stream_count;
+
+  for (int s = 0; s < stream_count; ++s) {
+    // Scratch buffer per stream: losers write somewhere harmless.
+    auto scratch = std::make_shared<Bytes>(out.size());
+    engine_->submit([this, join, scratch, s, offset] {
+      std::size_t n = 0;
+      std::exception_ptr err;
+      try {
+        n = streams_->pread(s, MutByteSpan(scratch->data(), scratch->size()), offset);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      if (join->finish_one(scratch.get(), n, std::move(err))) stats_.add_read(n);
+      return std::size_t{0};
+    });
+  }
+  return master;
+}
+
+mpiio::IoRequest SemplarFile::iwrite_at(std::uint64_t offset, ByteSpan data) {
+  return submit_striped<true>(offset, data);
+}
+
+// ---------------------------------------------------------------------------
+// SrbfsDriver
+// ---------------------------------------------------------------------------
+
+SrbfsDriver::SrbfsDriver(simnet::Fabric& fabric, Config cfg)
+    : fabric_(fabric), cfg_(std::move(cfg)) {
+  validate(cfg_);
+}
+
+std::unique_ptr<mpiio::adio::FileHandle> SrbfsDriver::open(const std::string& path,
+                                                           std::uint32_t mode) {
+  return std::make_unique<SemplarFile>(fabric_, cfg_, path, mode);
+}
+
+std::unique_ptr<srb::SrbClient> SrbfsDriver::catalog_client() {
+  return std::make_unique<srb::SrbClient>(fabric_, cfg_.client_host,
+                                          cfg_.server_host, cfg_.server_port,
+                                          cfg_.conn, "semplar-catalog");
+}
+
+void SrbfsDriver::remove(const std::string& path) {
+  catalog_client()->unlink(path);
+}
+
+bool SrbfsDriver::exists(const std::string& path) {
+  return catalog_client()->stat(path).has_value();
+}
+
+}  // namespace remio::semplar

@@ -1,0 +1,87 @@
+// SEMPLAR: the SRBFS ADIO driver (§3.2) with the asynchronous extension
+// (§4). Synchronous read_at/write_at use a single blocking stream, exactly
+// like the original SEMPLAR; the asynchronous verbs route through the
+// multi-threaded engine and stripe each request across the file's TCP
+// streams, so transfers on both connections advance simultaneously (§7.2).
+#pragma once
+
+#include <memory>
+
+#include "core/async_engine.hpp"
+#include "core/config.hpp"
+#include "core/stream_pool.hpp"
+#include "mpiio/adio.hpp"
+
+namespace remio::semplar {
+
+class SemplarFile final : public mpiio::adio::FileHandle {
+ public:
+  SemplarFile(simnet::Fabric& fabric, const Config& cfg, const std::string& path,
+              std::uint32_t mode);
+  ~SemplarFile() override;
+
+  // --- synchronous path (original SEMPLAR): one blocking stream ----------
+  std::size_t read_at(std::uint64_t offset, MutByteSpan out) override;
+  std::size_t write_at(std::uint64_t offset, ByteSpan data) override;
+  std::uint64_t size() override;
+  void flush() override;
+
+  // --- asynchronous path (this paper) -------------------------------------
+  bool supports_async() const override { return true; }
+  mpiio::IoRequest iread_at(std::uint64_t offset, MutByteSpan out) override;
+  mpiio::IoRequest iwrite_at(std::uint64_t offset, ByteSpan data) override;
+
+  /// §9 future work, implemented: redundant read. The same read is issued
+  /// on *every* stream of the file; the first stream to deliver wins and
+  /// its data is copied into `out`, the stragglers' results are discarded.
+  /// Cuts tail latency when streams see variable congestion, at the cost
+  /// of duplicated wire traffic. With one stream it degrades to iread_at.
+  mpiio::IoRequest iread_redundant(std::uint64_t offset, MutByteSpan out);
+
+  const Stats& stats() const { return stats_; }
+  StreamPool& streams() { return *streams_; }
+  AsyncEngine& engine() { return *engine_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  /// Plans a striped transfer: stream s handles chunks s, s+S, s+2S, ...
+  /// of `stripe_size` each, and the whole per-stream series runs as one
+  /// FIFO task so chunks on a stream stay ordered while streams proceed
+  /// in parallel.
+  template <bool IsWrite, class Span>
+  mpiio::IoRequest submit_striped(std::uint64_t offset, Span data);
+
+  Config cfg_;
+  Stats stats_;
+  std::unique_ptr<StreamPool> streams_;
+  std::unique_ptr<AsyncEngine> engine_;
+};
+
+class SrbfsDriver final : public mpiio::adio::Driver {
+ public:
+  /// One driver per node/rank: `cfg.client_host` pins which fabric host the
+  /// connections originate from.
+  SrbfsDriver(simnet::Fabric& fabric, Config cfg);
+
+  std::string scheme() const override { return "srbfs"; }
+  std::unique_ptr<mpiio::adio::FileHandle> open(const std::string& path,
+                                                std::uint32_t mode) override;
+  void remove(const std::string& path) override;
+  bool exists(const std::string& path) override;
+
+  const Config& config() const { return cfg_; }
+  Config& config() { return cfg_; }
+
+ private:
+  /// Short-lived catalog connection for namespace operations.
+  std::unique_ptr<srb::SrbClient> catalog_client();
+
+  simnet::Fabric& fabric_;
+  Config cfg_;
+};
+
+/// Paper-facing aliases for the request operations (§4.2).
+inline std::size_t MPIO_Wait(mpiio::IoRequest& req) { return req.wait(); }
+inline bool MPIO_Test(const mpiio::IoRequest& req) { return req.test(); }
+
+}  // namespace remio::semplar

@@ -1,0 +1,2 @@
+// Stats is header-only; this TU anchors the library target.
+#include "core/stats.hpp"

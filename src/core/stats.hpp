@@ -1,0 +1,57 @@
+// Per-file SEMPLAR instrumentation: logical and wire byte counts, task
+// counts, queue depth high-water mark, and I/O-thread busy time. Snapshots
+// feed EXPERIMENTS.md's overlap and bandwidth numbers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace remio::semplar {
+
+struct StatsSnapshot {
+  std::uint64_t bytes_written = 0;  // application bytes
+  std::uint64_t bytes_read = 0;
+  std::uint64_t async_tasks = 0;
+  std::uint64_t sync_calls = 0;
+  std::uint64_t queue_peak = 0;
+  double io_busy_sim = 0.0;  // simulated seconds I/O threads spent on tasks
+};
+
+class Stats {
+ public:
+  void add_write(std::uint64_t n) { bytes_written_ += n; }
+  void add_read(std::uint64_t n) { bytes_read_ += n; }
+  void add_task() { ++async_tasks_; }
+  void add_sync() { ++sync_calls_; }
+  void note_queue_depth(std::uint64_t d) {
+    std::uint64_t cur = queue_peak_.load(std::memory_order_relaxed);
+    while (d > cur &&
+           !queue_peak_.compare_exchange_weak(cur, d, std::memory_order_relaxed)) {
+    }
+  }
+  void add_busy(double sim_seconds) {
+    // Atomic add on double via CAS (C++20 fetch_add on atomic<double>).
+    io_busy_sim_.fetch_add(sim_seconds, std::memory_order_relaxed);
+  }
+
+  StatsSnapshot snapshot() const {
+    StatsSnapshot s;
+    s.bytes_written = bytes_written_.load();
+    s.bytes_read = bytes_read_.load();
+    s.async_tasks = async_tasks_.load();
+    s.sync_calls = sync_calls_.load();
+    s.queue_peak = queue_peak_.load();
+    s.io_busy_sim = io_busy_sim_.load();
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> async_tasks_{0};
+  std::atomic<std::uint64_t> sync_calls_{0};
+  std::atomic<std::uint64_t> queue_peak_{0};
+  std::atomic<double> io_busy_sim_{0.0};
+};
+
+}  // namespace remio::semplar

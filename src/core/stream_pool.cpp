@@ -1,0 +1,74 @@
+#include "core/stream_pool.hpp"
+
+#include "common/log.hpp"
+
+namespace remio::semplar {
+
+StreamPool::StreamPool(simnet::Fabric& fabric, const Config& cfg,
+                       const std::string& path, std::uint32_t srb_flags)
+    : path_(path) {
+  validate(cfg);
+  streams_.reserve(static_cast<std::size_t>(cfg.streams_per_node));
+  for (int i = 0; i < cfg.streams_per_node; ++i) {
+    Stream s;
+    s.client = std::make_unique<srb::SrbClient>(
+        fabric, cfg.client_host, cfg.server_host, cfg.server_port, cfg.conn,
+        "semplar/" + cfg.client_host + "/s" + std::to_string(i));
+    // Only the first stream may create or truncate; the others must see the
+    // object the first one produced.
+    std::uint32_t flags = srb_flags;
+    if (i > 0) flags &= ~(srb::kCreate | srb::kTrunc);
+    s.fd = s.client->open(path, flags);
+    streams_.push_back(std::move(s));
+  }
+}
+
+StreamPool::~StreamPool() {
+  try {
+    close();
+  } catch (...) {
+    // Best-effort teardown.
+  }
+}
+
+std::size_t StreamPool::pread(int stream, MutByteSpan out, std::uint64_t offset) {
+  Stream& s = streams_[static_cast<std::size_t>(stream)];
+  return s.client->pread(s.fd, out, offset);
+}
+
+std::size_t StreamPool::pwrite(int stream, ByteSpan data, std::uint64_t offset) {
+  Stream& s = streams_[static_cast<std::size_t>(stream)];
+  return s.client->pwrite(s.fd, data, offset);
+}
+
+std::uint64_t StreamPool::stat_size() {
+  const auto st = streams_.front().client->stat(path_);
+  return st ? st->size : 0;
+}
+
+std::uint64_t StreamPool::wire_bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& s : streams_) total += s.client->bytes_sent();
+  return total;
+}
+
+std::uint64_t StreamPool::wire_bytes_received() const {
+  std::uint64_t total = 0;
+  for (const auto& s : streams_) total += s.client->bytes_received();
+  return total;
+}
+
+void StreamPool::close() {
+  if (closed_) return;
+  closed_ = true;
+  for (auto& s : streams_) {
+    try {
+      s.client->close(s.fd);
+      s.client->disconnect();
+    } catch (const std::exception& e) {
+      REMIO_LOG_DEBUG("stream close: ", e.what());
+    }
+  }
+}
+
+}  // namespace remio::semplar

@@ -1,0 +1,54 @@
+// A pool of SRB connections for one open file: SEMPLAR's "multiple TCP
+// streams per node" (§7.2). Each stream is a full SrbClient (its own
+// shaped connection + server-side descriptor on the same data object), so
+// transfers on different streams advance concurrently when driven from
+// different I/O threads.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "srb/client.hpp"
+
+namespace remio::semplar {
+
+class StreamPool {
+ public:
+  /// Opens `streams_per_node` connections and descriptors on `path`.
+  /// The first stream performs any create/truncate; the rest open plain.
+  StreamPool(simnet::Fabric& fabric, const Config& cfg, const std::string& path,
+             std::uint32_t srb_flags);
+  ~StreamPool();
+
+  StreamPool(const StreamPool&) = delete;
+  StreamPool& operator=(const StreamPool&) = delete;
+
+  int count() const { return static_cast<int>(streams_.size()); }
+
+  std::size_t pread(int stream, MutByteSpan out, std::uint64_t offset);
+  std::size_t pwrite(int stream, ByteSpan data, std::uint64_t offset);
+
+  std::uint64_t stat_size();
+  srb::SrbClient& client(int stream) { return *streams_[static_cast<std::size_t>(stream)].client; }
+  const std::string& path() const { return path_; }
+
+  std::uint64_t wire_bytes_sent() const;
+  std::uint64_t wire_bytes_received() const;
+
+  /// Closes descriptors and disconnects every stream. Idempotent.
+  void close();
+
+ private:
+  struct Stream {
+    std::unique_ptr<srb::SrbClient> client;
+    std::int32_t fd = -1;
+  };
+
+  std::vector<Stream> streams_;
+  std::string path_;
+  bool closed_ = false;
+};
+
+}  // namespace remio::semplar

@@ -1,0 +1,171 @@
+#include "minimpi/comm.hpp"
+
+#include <algorithm>
+
+namespace remio::mpi {
+
+namespace detail {
+
+void World::abort_all() {
+  aborted.store(true);
+  for (auto& mb : mailboxes) {
+    std::lock_guard lk(mb->mu);
+    mb->aborted = true;
+    mb->cv.notify_all();
+  }
+  {
+    std::lock_guard lk(barrier_mu);
+    barrier_cv.notify_all();
+  }
+}
+
+}  // namespace detail
+
+// --- Request -----------------------------------------------------------------
+
+Request::~Request() {
+  if (state_ != nullptr && state_->worker.joinable()) state_->worker.join();
+}
+
+Message Request::wait() {
+  if (state_ == nullptr) throw MpiError("wait on empty request");
+  if (state_->worker.joinable()) state_->worker.join();
+  std::lock_guard lk(state_->mu);
+  if (state_->error) std::rethrow_exception(state_->error);
+  return std::move(state_->msg);
+}
+
+bool Request::test() const {
+  if (state_ == nullptr) return true;
+  std::lock_guard lk(state_->mu);
+  return state_->done;
+}
+
+// --- Comm ----------------------------------------------------------------------
+
+void Comm::deliver(int dst, Message m) {
+  auto& mb = *world_->mailboxes[static_cast<std::size_t>(dst)];
+  std::lock_guard lk(mb.mu);
+  if (mb.aborted) throw MpiError("communicator aborted");
+  mb.q.push_back(std::move(m));
+  mb.cv.notify_all();
+}
+
+void Comm::send(int dst, int tag, ByteSpan data) {
+  if (dst < 0 || dst >= size()) throw MpiError("send: bad destination rank");
+  if (world_->transport) world_->transport(rank_, dst, data.size());
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  m.data.assign(data.begin(), data.end());
+  deliver(dst, std::move(m));
+}
+
+Message Comm::recv(int src, int tag) {
+  auto& mb = *world_->mailboxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock lk(mb.mu);
+  for (;;) {
+    if (mb.aborted) throw MpiError("communicator aborted");
+    const auto it = std::find_if(mb.q.begin(), mb.q.end(), [&](const Message& m) {
+      return (src == kAnySource || m.src == src) && (tag == kAnyTag || m.tag == tag);
+    });
+    if (it != mb.q.end()) {
+      Message m = std::move(*it);
+      mb.q.erase(it);
+      return m;
+    }
+    mb.cv.wait(lk);
+  }
+}
+
+Request Comm::isend(int dst, int tag, ByteSpan data) {
+  Request req;
+  req.state_ = std::make_shared<Request::State>();
+  auto state = req.state_;
+  Bytes copy(data.begin(), data.end());
+  Comm self = *this;
+  state->worker = std::thread([state, self, dst, tag, copy = std::move(copy)]() mutable {
+    try {
+      Comm comm = self;
+      comm.send(dst, tag, ByteSpan(copy.data(), copy.size()));
+    } catch (...) {
+      std::lock_guard lk(state->mu);
+      state->error = std::current_exception();
+    }
+    std::lock_guard lk(state->mu);
+    state->done = true;
+    state->cv.notify_all();
+  });
+  return req;
+}
+
+Request Comm::irecv(int src, int tag) {
+  Request req;
+  req.state_ = std::make_shared<Request::State>();
+  auto state = req.state_;
+  Comm self = *this;
+  state->worker = std::thread([state, self, src, tag]() mutable {
+    try {
+      Comm comm = self;
+      Message m = comm.recv(src, tag);
+      std::lock_guard lk(state->mu);
+      state->msg = std::move(m);
+    } catch (...) {
+      std::lock_guard lk(state->mu);
+      state->error = std::current_exception();
+    }
+    std::lock_guard lk(state->mu);
+    state->done = true;
+    state->cv.notify_all();
+  });
+  return req;
+}
+
+Message Comm::sendrecv(int dst, int send_tag, ByteSpan data, int src, int recv_tag) {
+  Request send_req = isend(dst, send_tag, data);
+  Message m = recv(src, recv_tag);
+  send_req.wait();
+  return m;
+}
+
+void Comm::barrier() {
+  auto& w = *world_;
+  std::unique_lock lk(w.barrier_mu);
+  if (w.aborted.load()) throw MpiError("communicator aborted");
+  const std::uint64_t my_generation = w.barrier_generation;
+  if (++w.barrier_waiting == w.size) {
+    w.barrier_waiting = 0;
+    ++w.barrier_generation;
+    w.barrier_cv.notify_all();
+    return;
+  }
+  w.barrier_cv.wait(
+      lk, [&] { return w.barrier_generation != my_generation || w.aborted.load(); });
+  if (w.barrier_generation == my_generation) throw MpiError("communicator aborted");
+}
+
+void Comm::bcast(int root, Bytes& data) {
+  // Binomial tree rooted at `root`, using rank rotation.
+  const int n = size();
+  const int vrank = (rank_ - root + n) % n;
+  const int tag = kInternalTagBase + 0;
+
+  if (vrank != 0) {
+    // Receive from parent: clear the lowest set bit of vrank.
+    const int parent_v = vrank & (vrank - 1);
+    const int parent = (parent_v + root) % n;
+    Message m = recv(parent, tag);
+    data = std::move(m.data);
+  }
+  // Forward to children: set each bit above the lowest set bit of vrank.
+  for (int bit = 1; bit < n; bit <<= 1) {
+    if ((vrank & (bit - 1)) != 0) break;
+    if ((vrank & bit) != 0) break;
+    const int child_v = vrank | bit;
+    if (child_v >= n) break;
+    const int child = (child_v + root) % n;
+    send(child, tag, ByteSpan(data.data(), data.size()));
+  }
+}
+
+}  // namespace remio::mpi

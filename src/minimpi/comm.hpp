@@ -1,0 +1,253 @@
+// minimpi: a message-passing runtime with MPI semantics, hosting ranks as
+// threads in one process. It provides what the paper's benchmarks use from
+// mpich-1.2.6: tagged Send/Recv with matching, Isend/Irecv + Request
+// wait/test, Sendrecv, and the common collectives.
+//
+// A pluggable TransportModel charges every payload to the simulated cluster
+// resources (node I/O bus + interconnect). Because the *same* node bus is
+// charged by WAN sockets, overlapping MPI communication with remote I/O
+// contends for it — reproducing the counter-intuitive §7.1 result.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace remio::mpi {
+
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+
+class MpiError : public std::runtime_error {
+ public:
+  explicit MpiError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Message {
+  int src = kAnySource;
+  int tag = kAnyTag;
+  Bytes data;
+};
+
+/// Charges (src_rank, dst_rank, bytes) to the simulated cluster fabric and
+/// sleeps the modelled transfer time. Null = free instantaneous transport.
+using TransportModel = std::function<void(int src, int dst, std::size_t bytes)>;
+
+namespace detail {
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> q;
+  bool aborted = false;
+};
+
+struct World {
+  int size = 0;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  TransportModel transport;
+  std::atomic<bool> aborted{false};
+
+  // Central sense-reversing barrier.
+  std::mutex barrier_mu;
+  std::condition_variable barrier_cv;
+  int barrier_waiting = 0;
+  std::uint64_t barrier_generation = 0;
+
+  void abort_all();
+};
+
+}  // namespace detail
+
+/// Completion handle for Isend/Irecv. Movable; wait() joins the worker.
+/// Destroying an incomplete Request waits for it (prevents leaks; matches
+/// the guideline that async work must be owned).
+class Request {
+ public:
+  Request() = default;
+  Request(Request&&) = default;
+  Request& operator=(Request&&) = default;
+  ~Request();
+
+  /// Blocks until completion. For Irecv, returns the message.
+  Message wait();
+  bool test() const;
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Comm;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Message msg;
+    std::exception_ptr error;
+    std::thread worker;
+  };
+  std::shared_ptr<State> state_;
+};
+
+class Comm {
+ public:
+  Comm(int rank, std::shared_ptr<detail::World> world)
+      : rank_(rank), world_(std::move(world)) {}
+
+  int rank() const { return rank_; }
+  int size() const { return world_->size; }
+
+  // --- point to point -----------------------------------------------------
+  void send(int dst, int tag, ByteSpan data);
+  /// Blocks until a matching message arrives. src/tag may be wildcards.
+  Message recv(int src, int tag);
+
+  Request isend(int dst, int tag, ByteSpan data);
+  Request irecv(int src, int tag);
+
+  /// Combined send+recv, deadlock-free for exchange patterns (halo swap).
+  Message sendrecv(int dst, int send_tag, ByteSpan data, int src, int recv_tag);
+
+  // --- typed convenience (trivially copyable) -------------------------------
+  template <class T>
+  void send_value(int dst, int tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dst, tag, ByteSpan(reinterpret_cast<const char*>(&v), sizeof v));
+  }
+  template <class T>
+  T recv_value(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Message m = recv(src, tag);
+    if (m.data.size() != sizeof(T)) throw MpiError("recv_value: size mismatch");
+    T v;
+    std::memcpy(&v, m.data.data(), sizeof v);
+    return v;
+  }
+
+  // --- collectives ----------------------------------------------------------
+  void barrier();
+  /// Root's `data` is broadcast; non-roots receive into `data`.
+  void bcast(int root, Bytes& data);
+  template <class T>
+  T allreduce_sum(T v);
+  template <class T>
+  T reduce_sum(int root, T v);
+  template <class T>
+  T allreduce_max(T v);
+  /// Root receives size() values (its own included) ordered by rank.
+  template <class T>
+  std::vector<T> gather(int root, const T& v);
+  template <class T>
+  std::vector<T> allgather(const T& v);
+  /// Root provides size() values; each rank gets values[rank].
+  template <class T>
+  T scatter(int root, const std::vector<T>& values);
+
+ private:
+  void deliver(int dst, Message m);
+  template <class T>
+  T reduce_impl(int root, T v, bool max_op);
+
+  // Tags >= kInternalTagBase are reserved for collectives.
+  static constexpr int kInternalTagBase = 1 << 28;
+
+  int rank_;
+  std::shared_ptr<detail::World> world_;
+};
+
+// --- template implementations ------------------------------------------------
+
+template <class T>
+T Comm::reduce_impl(int root, T v, bool max_op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int tag = kInternalTagBase + (max_op ? 2 : 1);
+  if (rank_ == root) {
+    T acc = v;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      const T other = recv_value<T>(r, tag);
+      acc = max_op ? (other > acc ? other : acc) : static_cast<T>(acc + other);
+    }
+    return acc;
+  }
+  send_value(root, tag, v);
+  return v;
+}
+
+template <class T>
+T Comm::reduce_sum(int root, T v) {
+  return reduce_impl(root, v, /*max_op=*/false);
+}
+
+template <class T>
+T Comm::allreduce_sum(T v) {
+  T result = reduce_impl(0, v, false);
+  Bytes buf(sizeof(T));
+  if (rank_ == 0) std::memcpy(buf.data(), &result, sizeof(T));
+  bcast(0, buf);
+  std::memcpy(&result, buf.data(), sizeof(T));
+  return result;
+}
+
+template <class T>
+T Comm::allreduce_max(T v) {
+  T result = reduce_impl(0, v, true);
+  Bytes buf(sizeof(T));
+  if (rank_ == 0) std::memcpy(buf.data(), &result, sizeof(T));
+  bcast(0, buf);
+  std::memcpy(&result, buf.data(), sizeof(T));
+  return result;
+}
+
+template <class T>
+std::vector<T> Comm::gather(int root, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int tag = kInternalTagBase + 3;
+  if (rank_ == root) {
+    std::vector<T> out(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)] = v;
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      out[static_cast<std::size_t>(r)] = recv_value<T>(r, tag);
+    }
+    return out;
+  }
+  send_value(root, tag, v);
+  return {};
+}
+
+template <class T>
+std::vector<T> Comm::allgather(const T& v) {
+  std::vector<T> all = gather(0, v);
+  Bytes buf(sizeof(T) * static_cast<std::size_t>(size()));
+  if (rank_ == 0) std::memcpy(buf.data(), all.data(), buf.size());
+  bcast(0, buf);
+  std::vector<T> out(static_cast<std::size_t>(size()));
+  std::memcpy(out.data(), buf.data(), buf.size());
+  return out;
+}
+
+template <class T>
+T Comm::scatter(int root, const std::vector<T>& values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int tag = kInternalTagBase + 4;
+  if (rank_ == root) {
+    if (values.size() != static_cast<std::size_t>(size()))
+      throw MpiError("scatter: values.size() != comm size");
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      send_value(r, tag, values[static_cast<std::size_t>(r)]);
+    }
+    return values[static_cast<std::size_t>(root)];
+  }
+  return recv_value<T>(root, tag);
+}
+
+}  // namespace remio::mpi

@@ -1,0 +1,44 @@
+#include "minimpi/runtime.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace remio::mpi {
+
+void run(int n_ranks, const std::function<void(Comm&)>& body,
+         const RunOptions& options) {
+  if (n_ranks <= 0) throw MpiError("run: n_ranks must be positive");
+
+  auto world = std::make_shared<detail::World>();
+  world->size = n_ranks;
+  world->transport = options.transport;
+  world->mailboxes.reserve(static_cast<std::size_t>(n_ranks));
+  for (int r = 0; r < n_ranks; ++r)
+    world->mailboxes.push_back(std::make_unique<detail::Mailbox>());
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_ranks));
+  for (int r = 0; r < n_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(r, world);
+      try {
+        body(comm);
+      } catch (...) {
+        {
+          std::lock_guard lk(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        world->abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace remio::mpi

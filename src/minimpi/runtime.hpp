@@ -1,0 +1,21 @@
+// Launches an MPI-style job: n ranks as threads, each running `body(comm)`.
+#pragma once
+
+#include <functional>
+
+#include "minimpi/comm.hpp"
+
+namespace remio::mpi {
+
+struct RunOptions {
+  /// Models the cluster interconnect (node bus + switch); see comm.hpp.
+  TransportModel transport;
+};
+
+/// Runs `body` on `n_ranks` threads and joins them all. If any rank throws,
+/// the remaining ranks are aborted (their blocking calls raise MpiError) and
+/// the first exception is rethrown here.
+void run(int n_ranks, const std::function<void(Comm&)>& body,
+         const RunOptions& options = {});
+
+}  // namespace remio::mpi

@@ -1,0 +1,64 @@
+// ADIO-style abstract device interface (Thakur et al., reproduced per §3.2,
+// Fig. 1): the portable MPI-IO front end (`mpiio::File`) is implemented once
+// over this interface, and each filesystem provides a Driver — `ufs` for
+// local files, `srbfs` (SEMPLAR, src/core) for the remote broker.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "mpiio/request.hpp"
+
+namespace remio::mpiio {
+
+/// Open-mode flags, MPI_File_open-like.
+enum ModeFlags : std::uint32_t {
+  kModeRead = 1u << 0,   // MPI_MODE_RDONLY half
+  kModeWrite = 1u << 1,  // MPI_MODE_WRONLY half
+  kModeCreate = 1u << 2,
+  kModeTrunc = 1u << 3,
+};
+
+namespace adio {
+
+/// One open file on a concrete filesystem. All offsets are explicit; the
+/// individual file pointer lives in the portable layer.
+///
+/// Asynchronous contract: buffers passed to iread_at/iwrite_at are NOT
+/// copied — the caller must not reuse them until the request completes
+/// (§4.1 lists this as the model's inherent cost; threads sharing the
+/// address space avoid the copy, §4.3).
+class FileHandle {
+ public:
+  virtual ~FileHandle() = default;
+
+  virtual std::size_t read_at(std::uint64_t offset, MutByteSpan out) = 0;
+  virtual std::size_t write_at(std::uint64_t offset, ByteSpan data) = 0;
+  virtual std::uint64_t size() = 0;
+  virtual void flush() {}
+
+  /// Drivers that can do better than the portable thread fallback override
+  /// these (SEMPLAR does: multi-stream striping + its own I/O threads).
+  virtual bool supports_async() const { return false; }
+  virtual IoRequest iread_at(std::uint64_t, MutByteSpan) {
+    throw IoError("driver has no native async read");
+  }
+  virtual IoRequest iwrite_at(std::uint64_t, ByteSpan) {
+    throw IoError("driver has no native async write");
+  }
+};
+
+class Driver {
+ public:
+  virtual ~Driver() = default;
+  virtual std::string scheme() const = 0;
+  virtual std::unique_ptr<FileHandle> open(const std::string& path,
+                                           std::uint32_t mode) = 0;
+  virtual void remove(const std::string& path) = 0;
+  virtual bool exists(const std::string& path) = 0;
+};
+
+}  // namespace adio
+}  // namespace remio::mpiio

@@ -1,0 +1,66 @@
+#include "mpiio/async_fallback.hpp"
+
+namespace remio::mpiio {
+
+AsyncFallback::~AsyncFallback() {
+  queue_.close();
+  if (io_thread_.joinable()) io_thread_.join();
+}
+
+void AsyncFallback::ensure_thread() {
+  std::call_once(spawn_once_, [this] { io_thread_ = std::thread([this] { loop(); }); });
+}
+
+void AsyncFallback::loop() {
+  while (auto task = queue_.pop()) {
+    try {
+      const std::size_t n = task->is_write
+                                ? handle_.write_at(task->offset, task->wdata)
+                                : handle_.read_at(task->offset, task->rdata);
+      IoRequest::complete(task->state, n);
+    } catch (...) {
+      IoRequest::fail(task->state, std::current_exception());
+    }
+  }
+}
+
+IoRequest AsyncFallback::iread_at(std::uint64_t offset, MutByteSpan out) {
+  ensure_thread();
+  IoRequest req = IoRequest::make();
+  Task t;
+  t.is_write = false;
+  t.offset = offset;
+  t.rdata = out;
+  t.state = req.state();
+  if (!queue_.push(std::move(t)))
+    IoRequest::fail(req.state(), std::make_exception_ptr(IoError("file closed")));
+  return req;
+}
+
+IoRequest AsyncFallback::iwrite_at(std::uint64_t offset, ByteSpan data) {
+  ensure_thread();
+  IoRequest req = IoRequest::make();
+  Task t;
+  t.is_write = true;
+  t.offset = offset;
+  t.wdata = data;
+  t.state = req.state();
+  if (!queue_.push(std::move(t)))
+    IoRequest::fail(req.state(), std::make_exception_ptr(IoError("file closed")));
+  return req;
+}
+
+void AsyncFallback::drain() {
+  // A no-op sentinel task would complicate the Task type; instead enqueue a
+  // zero-byte read whose completion proves FIFO drain.
+  ensure_thread();
+  IoRequest req = IoRequest::make();
+  Task t;
+  t.is_write = false;
+  t.offset = 0;
+  t.rdata = MutByteSpan();
+  t.state = req.state();
+  if (queue_.push(std::move(t))) req.wait();
+}
+
+}  // namespace remio::mpiio

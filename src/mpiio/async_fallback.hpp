@@ -1,0 +1,49 @@
+// Generic thread-based async layer for drivers with synchronous-only
+// handles — the exact architecture of the paper's Fig. 2: an I/O queue in
+// front of one dedicated I/O thread calling the corresponding synchronous
+// function, FIFO order, condition-variable wakeup (no busy wait, §4.3).
+// The thread is spawned lazily on the first asynchronous call (§4.3).
+#pragma once
+
+#include <memory>
+#include <thread>
+
+#include "common/queue.hpp"
+#include "mpiio/adio.hpp"
+
+namespace remio::mpiio {
+
+class AsyncFallback {
+ public:
+  /// `handle` must outlive this object (File owns both).
+  explicit AsyncFallback(adio::FileHandle& handle) : handle_(handle) {}
+  ~AsyncFallback();
+
+  AsyncFallback(const AsyncFallback&) = delete;
+  AsyncFallback& operator=(const AsyncFallback&) = delete;
+
+  IoRequest iread_at(std::uint64_t offset, MutByteSpan out);
+  IoRequest iwrite_at(std::uint64_t offset, ByteSpan data);
+
+  /// Blocks until every queued operation has drained (used by flush/close).
+  void drain();
+
+ private:
+  struct Task {
+    bool is_write = false;
+    std::uint64_t offset = 0;
+    ByteSpan wdata;
+    MutByteSpan rdata;
+    std::shared_ptr<IoRequest::State> state;
+  };
+
+  void ensure_thread();
+  void loop();
+
+  adio::FileHandle& handle_;
+  BoundedQueue<Task> queue_{1024};
+  std::thread io_thread_;
+  std::once_flag spawn_once_;
+};
+
+}  // namespace remio::mpiio

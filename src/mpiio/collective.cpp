@@ -1,0 +1,133 @@
+#include "mpiio/collective.hpp"
+
+#include <numeric>
+
+namespace remio::mpiio {
+
+namespace {
+// Reserved tag range for the collective shuffle phase (above user tags,
+// below minimpi's internal collective tags).
+constexpr int kShuffleTag = 1 << 27;
+
+int group_size(int size, int aggregators) {
+  if (aggregators < 1) aggregators = 1;
+  if (aggregators > size) aggregators = size;
+  return (size + aggregators - 1) / aggregators;
+}
+}  // namespace
+
+int aggregator_of(int rank, int size, int aggregators) {
+  const int g = group_size(size, aggregators);
+  return (rank / g) * g;
+}
+
+bool is_aggregator(int rank, int size, int aggregators) {
+  return aggregator_of(rank, size, aggregators) == rank;
+}
+
+IoRequest collective_write(mpi::Comm& comm, File* file, std::uint64_t base_offset,
+                           ByteSpan my_block, const CollectiveOptions& opts) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int g = group_size(size, opts.aggregators);
+
+  // Everyone learns every block size, so offsets need no extra messages.
+  const auto sizes = comm.allgather<std::uint64_t>(my_block.size());
+
+  const int agg = aggregator_of(rank, size, opts.aggregators);
+  if (rank != agg) {
+    // Phase 1: ship the block to the aggregator over the interconnect.
+    comm.send(agg, kShuffleTag, my_block);
+    return IoRequest{};
+  }
+
+  // Aggregator: concatenate the group's blocks in rank order.
+  if (file == nullptr)
+    throw IoError("collective_write: aggregator rank needs an open file");
+
+  const int group_end = std::min(size, rank + g);
+  std::uint64_t group_bytes = 0;
+  for (int r = rank; r < group_end; ++r)
+    group_bytes += sizes[static_cast<std::size_t>(r)];
+
+  auto buffer = std::make_shared<Bytes>();
+  buffer->reserve(static_cast<std::size_t>(group_bytes));
+  buffer->insert(buffer->end(), my_block.begin(), my_block.end());
+  for (int r = rank + 1; r < group_end; ++r) {
+    const mpi::Message m = comm.recv(r, kShuffleTag);
+    if (m.data.size() != sizes[static_cast<std::size_t>(r)])
+      throw IoError("collective_write: block size mismatch from rank " +
+                    std::to_string(r));
+    buffer->insert(buffer->end(), m.data.begin(), m.data.end());
+  }
+
+  std::uint64_t offset = base_offset;
+  for (int r = 0; r < rank; ++r) offset += sizes[static_cast<std::size_t>(r)];
+
+  // Phase 2: one large contiguous write for the whole group.
+  if (opts.async) {
+    IoRequest req = file->iwrite_at(offset, ByteSpan(buffer->data(), buffer->size()));
+    // The async contract does not copy: pin the gathered buffer to the
+    // request's lifetime.
+    req.state()->keepalive = buffer;
+    return req;
+  }
+
+  IoRequest done = IoRequest::make();
+  const std::size_t n = file->write_at(offset, ByteSpan(buffer->data(), buffer->size()));
+  IoRequest::complete(done.state(), n);
+  return done;
+}
+
+std::size_t collective_read(mpi::Comm& comm, File* file, std::uint64_t base_offset,
+                            MutByteSpan my_block, const CollectiveOptions& opts) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int g = group_size(size, opts.aggregators);
+
+  const auto sizes = comm.allgather<std::uint64_t>(my_block.size());
+  const int agg = aggregator_of(rank, size, opts.aggregators);
+
+  if (rank != agg) {
+    // Phase 2 (from this rank's view): receive my piece from the aggregator.
+    const mpi::Message m = comm.recv(agg, kShuffleTag + 1);
+    std::copy_n(m.data.data(), std::min(m.data.size(), my_block.size()),
+                my_block.data());
+    return m.data.size();
+  }
+
+  if (file == nullptr)
+    throw IoError("collective_read: aggregator rank needs an open file");
+
+  const int group_end = std::min(size, rank + g);
+  std::uint64_t group_bytes = 0;
+  for (int r = rank; r < group_end; ++r)
+    group_bytes += sizes[static_cast<std::size_t>(r)];
+
+  std::uint64_t offset = base_offset;
+  for (int r = 0; r < rank; ++r) offset += sizes[static_cast<std::size_t>(r)];
+
+  // Phase 1: one large contiguous read for the whole group.
+  Bytes region(static_cast<std::size_t>(group_bytes));
+  const std::size_t got =
+      file->read_at(offset, MutByteSpan(region.data(), region.size()));
+
+  // Phase 2: scatter the pieces (possibly short at EOF) back to the group.
+  std::size_t cursor = 0;
+  std::size_t my_got = 0;
+  for (int r = rank; r < group_end; ++r) {
+    const auto want = static_cast<std::size_t>(sizes[static_cast<std::size_t>(r)]);
+    const std::size_t have = cursor < got ? std::min(want, got - cursor) : 0;
+    if (r == rank) {
+      std::copy_n(region.data() + cursor, std::min(have, my_block.size()),
+                  my_block.data());
+      my_got = have;
+    } else {
+      comm.send(r, kShuffleTag + 1, ByteSpan(region.data() + cursor, have));
+    }
+    cursor += want;
+  }
+  return my_got;
+}
+
+}  // namespace remio::mpiio

@@ -1,0 +1,53 @@
+// Two-phase collective write — the §9 future-work item "the effect of
+// asynchronous primitives on remote, collective I/O", in the mold of
+// ROMIO's two-phase optimization and the RFS/ABT related work (§2):
+//
+//   phase 1 (shuffle):  every rank ships its block to its aggregator over
+//                       the cluster interconnect;
+//   phase 2 (write):    aggregators write one large contiguous region each
+//                       to the remote file — asynchronously, so phase 2 of
+//                       round i can overlap the caller's next compute phase.
+//
+// Aggregation trades WAN parallelism (fewer client streams) for fewer,
+// larger broker requests; bench/ablation_collective maps the crossover.
+#pragma once
+
+#include "minimpi/comm.hpp"
+#include "mpiio/file.hpp"
+
+namespace remio::mpiio {
+
+struct CollectiveOptions {
+  /// Number of aggregator ranks (1..comm.size()); rank r aggregates the
+  /// contiguous group of ranks assigned to it.
+  int aggregators = 1;
+  /// Issue the aggregated write asynchronously and return the request
+  /// (aggregators only); synchronous otherwise.
+  bool async = true;
+};
+
+/// Collectively writes `my_block` of every rank to `offset(rank) =
+/// base_offset + sum(block sizes of lower ranks)` — i.e. rank blocks are
+/// concatenated in rank order. Must be called by ALL ranks of `comm`
+/// (collective semantics). `file` may be null on non-aggregator ranks.
+///
+/// Returns, on aggregator ranks with opts.async, the pending write request
+/// (callers overlap and MPIO_Wait it); on all other ranks an invalid
+/// request. Synchronous mode returns an already-completed request.
+IoRequest collective_write(mpi::Comm& comm, File* file, std::uint64_t base_offset,
+                           ByteSpan my_block, const CollectiveOptions& opts = {});
+
+/// Collectively reads rank blocks laid out as in collective_write (rank
+/// blocks concatenated at base_offset): each group's aggregator reads the
+/// group's contiguous region once and scatters the pieces back over the
+/// interconnect. Returns the bytes landed in `my_block` (short at EOF).
+/// Collective call; `file` may be null on non-aggregators.
+std::size_t collective_read(mpi::Comm& comm, File* file, std::uint64_t base_offset,
+                            MutByteSpan my_block, const CollectiveOptions& opts = {});
+
+/// Group geometry helper: which aggregator serves `rank`.
+int aggregator_of(int rank, int size, int aggregators);
+/// True if `rank` is an aggregator under this geometry.
+bool is_aggregator(int rank, int size, int aggregators);
+
+}  // namespace remio::mpiio

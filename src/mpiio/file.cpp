@@ -1,0 +1,115 @@
+#include "mpiio/file.hpp"
+
+#include <cstdio>  // SEEK_SET / SEEK_CUR / SEEK_END
+
+namespace remio::mpiio {
+
+File::File(adio::Driver& driver, const std::string& path, std::uint32_t mode)
+    : handle_(driver.open(path, mode)) {
+  if (!handle_->supports_async())
+    fallback_ = std::make_unique<AsyncFallback>(*handle_);
+}
+
+File::~File() {
+  try {
+    close();
+  } catch (...) {
+    // close() errors are lost in the destructor path; call close() directly
+    // to observe them.
+  }
+}
+
+std::size_t File::read_at(std::uint64_t offset, MutByteSpan out) {
+  return handle_->read_at(offset, out);
+}
+
+std::size_t File::write_at(std::uint64_t offset, ByteSpan data) {
+  return handle_->write_at(offset, data);
+}
+
+std::size_t File::read(MutByteSpan out) {
+  std::uint64_t at;
+  {
+    std::lock_guard lk(fp_mu_);
+    at = fp_;
+    fp_ += out.size();  // optimistic; corrected below on short read
+  }
+  const std::size_t n = handle_->read_at(at, out);
+  if (n < out.size()) {
+    std::lock_guard lk(fp_mu_);
+    fp_ = at + n;
+  }
+  return n;
+}
+
+std::size_t File::write(ByteSpan data) {
+  std::uint64_t at;
+  {
+    std::lock_guard lk(fp_mu_);
+    at = fp_;
+    fp_ += data.size();
+  }
+  return handle_->write_at(at, data);
+}
+
+std::uint64_t File::seek(std::int64_t offset, int whence) {
+  std::lock_guard lk(fp_mu_);
+  std::int64_t base = 0;
+  switch (whence) {
+    case SEEK_SET: base = 0; break;
+    case SEEK_CUR: base = static_cast<std::int64_t>(fp_); break;
+    case SEEK_END: base = static_cast<std::int64_t>(handle_->size()); break;
+    default: throw IoError("seek: bad whence");
+  }
+  const std::int64_t pos = base + offset;
+  if (pos < 0) throw IoError("seek: negative position");
+  fp_ = static_cast<std::uint64_t>(pos);
+  return fp_;
+}
+
+IoRequest File::iread_at(std::uint64_t offset, MutByteSpan out) {
+  if (handle_->supports_async()) return handle_->iread_at(offset, out);
+  return fallback_->iread_at(offset, out);
+}
+
+IoRequest File::iwrite_at(std::uint64_t offset, ByteSpan data) {
+  if (handle_->supports_async()) return handle_->iwrite_at(offset, data);
+  return fallback_->iwrite_at(offset, data);
+}
+
+IoRequest File::iread(MutByteSpan out) {
+  std::uint64_t at;
+  {
+    std::lock_guard lk(fp_mu_);
+    at = fp_;
+    fp_ += out.size();
+  }
+  return iread_at(at, out);
+}
+
+IoRequest File::iwrite(ByteSpan data) {
+  std::uint64_t at;
+  {
+    std::lock_guard lk(fp_mu_);
+    at = fp_;
+    fp_ += data.size();
+  }
+  return iwrite_at(at, data);
+}
+
+std::uint64_t File::size() { return handle_->size(); }
+
+void File::flush() {
+  if (fallback_) fallback_->drain();
+  handle_->flush();
+}
+
+void File::close() {
+  if (closed_) return;
+  closed_ = true;
+  flush();
+  fallback_.reset();  // joins the fallback I/O thread
+  handle_.reset();
+}
+
+}  // namespace remio::mpiio

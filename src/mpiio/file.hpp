@@ -1,0 +1,56 @@
+// Portable MPI-IO-style file front end, implemented once over the ADIO
+// driver interface (Fig. 1). Provides individual file pointers, explicit-
+// offset operations, and the asynchronous verbs the paper added to SEMPLAR:
+// iread / iwrite with MPIO_Wait / MPIO_Test semantics (§4.2).
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "mpiio/adio.hpp"
+#include "mpiio/async_fallback.hpp"
+
+namespace remio::mpiio {
+
+class File {
+ public:
+  /// MPI_File_open equivalent (per process / rank; non-collective here —
+  /// the paper's benchmarks all use individual file pointers and
+  /// non-collective calls).
+  File(adio::Driver& driver, const std::string& path, std::uint32_t mode);
+  ~File();
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  // --- synchronous ---------------------------------------------------------
+  std::size_t read_at(std::uint64_t offset, MutByteSpan out);
+  std::size_t write_at(std::uint64_t offset, ByteSpan data);
+  /// File-pointer variants (advance the individual file pointer).
+  std::size_t read(MutByteSpan out);
+  std::size_t write(ByteSpan data);
+  std::uint64_t seek(std::int64_t offset, int whence);  // SEEK_SET/CUR/END
+
+  // --- asynchronous (MPI_File_iread/_iwrite) --------------------------------
+  /// Buffers must stay valid until the request completes (§4.1).
+  IoRequest iread_at(std::uint64_t offset, MutByteSpan out);
+  IoRequest iwrite_at(std::uint64_t offset, ByteSpan data);
+  IoRequest iread(MutByteSpan out);
+  IoRequest iwrite(ByteSpan data);
+
+  std::uint64_t size();
+  void flush();
+  /// MPI_File_close equivalent; waits for outstanding async I/O.
+  void close();
+
+  adio::FileHandle& handle() { return *handle_; }
+
+ private:
+  std::unique_ptr<adio::FileHandle> handle_;
+  std::unique_ptr<AsyncFallback> fallback_;  // only when !supports_async()
+  std::mutex fp_mu_;
+  std::uint64_t fp_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace remio::mpiio

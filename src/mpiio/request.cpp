@@ -1,0 +1,33 @@
+#include "mpiio/request.hpp"
+
+namespace remio::mpiio {
+
+std::size_t IoRequest::wait() {
+  if (state_ == nullptr) throw IoError("wait on empty request");
+  std::unique_lock lk(state_->mu);
+  state_->cv.wait(lk, [&] { return state_->done; });
+  if (state_->error) std::rethrow_exception(state_->error);
+  return state_->bytes;
+}
+
+bool IoRequest::test() const {
+  if (state_ == nullptr) return true;
+  std::lock_guard lk(state_->mu);
+  return state_->done;
+}
+
+void IoRequest::complete(const std::shared_ptr<State>& s, std::size_t bytes) {
+  std::lock_guard lk(s->mu);
+  s->bytes = bytes;
+  s->done = true;
+  s->cv.notify_all();
+}
+
+void IoRequest::fail(const std::shared_ptr<State>& s, std::exception_ptr e) {
+  std::lock_guard lk(s->mu);
+  s->error = std::move(e);
+  s->done = true;
+  s->cv.notify_all();
+}
+
+}  // namespace remio::mpiio

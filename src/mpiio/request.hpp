@@ -1,0 +1,65 @@
+// Nonblocking-I/O completion handle, the library's equivalent of ROMIO's
+// MPIO_Request with MPIO_Wait / MPIO_Test (§4.2).
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace remio::mpiio {
+
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class IoRequest {
+ public:
+  IoRequest() = default;
+
+  /// Blocks until the operation completes; returns bytes transferred.
+  /// Rethrows any error raised on the I/O thread. (MPIO_Wait)
+  std::size_t wait();
+
+  /// Non-blocking completion check. (MPIO_Test)
+  bool test() const;
+
+  bool valid() const { return state_ != nullptr; }
+
+  // --- producer side (drivers / async engines) ---------------------------
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::size_t bytes = 0;
+    std::exception_ptr error;
+    /// Anything that must stay alive until the operation completes (the
+    /// async contract does not copy buffers; see adio::FileHandle).
+    std::shared_ptr<void> keepalive;
+  };
+
+  static IoRequest make() {
+    IoRequest r;
+    r.state_ = std::make_shared<State>();
+    return r;
+  }
+  std::shared_ptr<State> state() const { return state_; }
+
+  static void complete(const std::shared_ptr<State>& s, std::size_t bytes);
+  static void fail(const std::shared_ptr<State>& s, std::exception_ptr e);
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+/// Waits on every request in the range; returns total bytes. (MPIO_Waitall)
+template <class It>
+std::size_t wait_all(It first, It last) {
+  std::size_t total = 0;
+  for (It it = first; it != last; ++it) total += it->wait();
+  return total;
+}
+
+}  // namespace remio::mpiio

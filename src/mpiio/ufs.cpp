@@ -1,0 +1,91 @@
+#include "mpiio/ufs.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+
+namespace remio::mpiio {
+namespace {
+
+class UfsHandle final : public adio::FileHandle {
+ public:
+  UfsHandle(const std::string& path, std::uint32_t mode) {
+    namespace fs = std::filesystem;
+    const bool existed = fs::exists(path);
+    if (!existed && (mode & kModeCreate) == 0) throw IoError("ufs: no such file: " + path);
+    // "c+b" semantics assembled by hand: create if needed, never truncate
+    // unless asked, allow independent read/write at explicit offsets.
+    if (!existed || (mode & kModeTrunc) != 0) {
+      f_ = std::fopen(path.c_str(), "w+b");
+    } else {
+      f_ = std::fopen(path.c_str(), "r+b");
+      if (f_ == nullptr && (mode & kModeWrite) == 0) f_ = std::fopen(path.c_str(), "rb");
+    }
+    if (f_ == nullptr) throw IoError("ufs: cannot open: " + path);
+  }
+
+  ~UfsHandle() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  std::size_t read_at(std::uint64_t offset, MutByteSpan out) override {
+    std::lock_guard lk(mu_);
+    if (::fseeko(f_, static_cast<off_t>(offset), SEEK_SET) != 0)
+      throw IoError("ufs: seek failed");
+    return std::fread(out.data(), 1, out.size(), f_);
+  }
+
+  std::size_t write_at(std::uint64_t offset, ByteSpan data) override {
+    std::lock_guard lk(mu_);
+    if (::fseeko(f_, static_cast<off_t>(offset), SEEK_SET) != 0)
+      throw IoError("ufs: seek failed");
+    const std::size_t n = std::fwrite(data.data(), 1, data.size(), f_);
+    if (n != data.size()) throw IoError("ufs: short write");
+    return n;
+  }
+
+  std::uint64_t size() override {
+    std::lock_guard lk(mu_);
+    std::fflush(f_);
+    if (::fseeko(f_, 0, SEEK_END) != 0) throw IoError("ufs: seek failed");
+    return static_cast<std::uint64_t>(::ftello(f_));
+  }
+
+  void flush() override {
+    std::lock_guard lk(mu_);
+    std::fflush(f_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::FILE* f_ = nullptr;
+};
+
+}  // namespace
+
+UfsDriver::UfsDriver(std::string root) : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+}
+
+std::string UfsDriver::resolve(const std::string& path) const {
+  std::string p = path;
+  // Flatten logical paths ("/coll/obj") into the scratch directory.
+  for (char& c : p)
+    if (c == '/') c = '_';
+  return root_ + "/" + p;
+}
+
+std::unique_ptr<adio::FileHandle> UfsDriver::open(const std::string& path,
+                                                  std::uint32_t mode) {
+  return std::make_unique<UfsHandle>(resolve(path), mode);
+}
+
+void UfsDriver::remove(const std::string& path) {
+  std::filesystem::remove(resolve(path));
+}
+
+bool UfsDriver::exists(const std::string& path) {
+  return std::filesystem::exists(resolve(path));
+}
+
+}  // namespace remio::mpiio

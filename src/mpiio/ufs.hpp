@@ -1,0 +1,27 @@
+// "ufs" ADIO driver: plain local files via stdio, the local-I/O leg of
+// Fig. 1. Used by tests and by local-vs-remote comparisons.
+#pragma once
+
+#include <string>
+
+#include "mpiio/adio.hpp"
+
+namespace remio::mpiio {
+
+class UfsDriver final : public adio::Driver {
+ public:
+  /// Paths are resolved relative to `root` (a scratch directory).
+  explicit UfsDriver(std::string root = ".");
+
+  std::string scheme() const override { return "ufs"; }
+  std::unique_ptr<adio::FileHandle> open(const std::string& path,
+                                         std::uint32_t mode) override;
+  void remove(const std::string& path) override;
+  bool exists(const std::string& path) override;
+
+ private:
+  std::string resolve(const std::string& path) const;
+  std::string root_;
+};
+
+}  // namespace remio::mpiio

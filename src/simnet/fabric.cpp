@@ -1,0 +1,99 @@
+#include "simnet/fabric.hpp"
+
+#include "simnet/timescale.hpp"
+
+namespace remio::simnet {
+
+std::optional<std::unique_ptr<Socket>> Acceptor::accept() { return pending_.pop(); }
+
+void Acceptor::close() { pending_.close(); }
+
+void Fabric::add_host(HostSpec spec) {
+  std::lock_guard lk(mu_);
+  hosts_[spec.name] = std::move(spec);
+}
+
+bool Fabric::has_host(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  return hosts_.count(name) != 0;
+}
+
+const HostSpec& Fabric::host(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  const auto it = hosts_.find(name);
+  if (it == hosts_.end()) throw NetError("unknown host: " + name);
+  return it->second;
+}
+
+std::shared_ptr<Acceptor> Fabric::listen(const std::string& host, int port) {
+  std::lock_guard lk(mu_);
+  if (hosts_.count(host) == 0) throw NetError("listen on unknown host: " + host);
+  auto acceptor = std::make_shared<Acceptor>();
+  acceptors_[{host, port}] = acceptor;
+  return acceptor;
+}
+
+std::unique_ptr<Socket> Fabric::connect(const std::string& from_host,
+                                        const std::string& to_host, int port,
+                                        const ConnectOptions& opts) {
+  HostSpec from;
+  HostSpec to;
+  std::shared_ptr<Acceptor> acceptor;
+  {
+    std::lock_guard lk(mu_);
+    const auto fit = hosts_.find(from_host);
+    const auto tit = hosts_.find(to_host);
+    if (fit == hosts_.end()) throw NetError("connect from unknown host: " + from_host);
+    if (tit == hosts_.end()) throw NetError("connect to unknown host: " + to_host);
+    from = fit->second;
+    to = tit->second;
+    const auto ait = acceptors_.find({to_host, port});
+    if (ait == acceptors_.end())
+      throw NetError("connection refused: " + to_host + ":" + std::to_string(port));
+    acceptor = ait->second;
+  }
+
+  const double one_way = from.latency_to_core + to.latency_to_core;
+  const double rtt = 2.0 * one_way;
+
+  ConnShaping shaping;
+  shaping.one_way_latency = one_way;
+  shaping.quantum = opts.quantum;
+  shaping.window_bytes = opts.buffer_bytes;
+  if (opts.tcp_window > 0 && rtt > 0) {
+    shaping.stream_rate = static_cast<double>(opts.tcp_window) / rtt;
+    shaping.stream_burst = static_cast<double>(opts.tcp_window);
+  }
+
+  shaping.fwd_path = opts.extra;
+  shaping.fwd_path.insert(shaping.fwd_path.end(), from.egress.begin(), from.egress.end());
+  shaping.fwd_path.insert(shaping.fwd_path.end(), to.ingress.begin(), to.ingress.end());
+
+  shaping.rev_path = opts.extra;
+  shaping.rev_path.insert(shaping.rev_path.end(), to.egress.begin(), to.egress.end());
+  shaping.rev_path.insert(shaping.rev_path.end(), from.ingress.begin(), from.ingress.end());
+
+  // TCP three-way handshake: the dialer pays one round trip before data.
+  sleep_sim(rtt);
+
+  auto [client, server] = Socket::make_pair(shaping, from_host, to_host);
+  if (!acceptor->pending_.push(std::move(server)))
+    throw NetError("connection refused (listener closed): " + to_host);
+  return std::move(client);
+}
+
+double Fabric::latency(const std::string& a, const std::string& b) const {
+  std::lock_guard lk(mu_);
+  const auto ia = hosts_.find(a);
+  const auto ib = hosts_.find(b);
+  if (ia == hosts_.end() || ib == hosts_.end()) throw NetError("unknown host");
+  return ia->second.latency_to_core + ib->second.latency_to_core;
+}
+
+void Fabric::shutdown() {
+  std::lock_guard lk(mu_);
+  for (auto& [key, acceptor] : acceptors_) acceptor->close();
+  acceptors_.clear();
+}
+
+}  // namespace remio::simnet

@@ -1,0 +1,80 @@
+// Named-host network fabric. Hosts own shared shaped resources (ingress /
+// egress buckets); a connection's path charges the client's egress chain
+// (node bus -> NIC -> uplink or NAT) and the server's ingress chain (one of
+// orion's NICs -> machine backplane). One-way latency between two hosts is
+// the sum of their `latency_to_core` values, which models the §5 testbed:
+// DAS-2 <-> SDSC ~91 ms one-way, TG/OSC <-> SDSC ~15 ms.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "simnet/socket.hpp"
+
+namespace remio::simnet {
+
+struct HostSpec {
+  std::string name;
+  double latency_to_core = 0.0;  // one-way, simulated seconds
+  /// Charged on traffic leaving this host, in order.
+  std::vector<std::shared_ptr<TokenBucket>> egress;
+  /// Charged on traffic arriving at this host, in order.
+  std::vector<std::shared_ptr<TokenBucket>> ingress;
+};
+
+struct ConnectOptions {
+  /// TCP window per stream; per-direction throughput cap = window / RTT.
+  /// 0 disables the cap.
+  std::size_t tcp_window = 64 * 1024;
+  std::size_t quantum = 512 * 1024;
+  std::size_t buffer_bytes = 4 << 20;
+  /// Extra shared resources charged on this connection in both directions
+  /// (e.g. the per-node I/O bus for the contention experiment).
+  std::vector<std::shared_ptr<TokenBucket>> extra;
+};
+
+class Acceptor {
+ public:
+  /// Blocks for the next inbound connection; nullopt when closed.
+  std::optional<std::unique_ptr<Socket>> accept();
+  void close();
+
+ private:
+  friend class Fabric;
+  BoundedQueue<std::unique_ptr<Socket>> pending_{1024};
+};
+
+class Fabric {
+ public:
+  /// Registers (or replaces) a host. Returns its spec for resource wiring.
+  void add_host(HostSpec spec);
+  bool has_host(const std::string& name) const;
+  const HostSpec& host(const std::string& name) const;
+
+  /// Starts listening on (host, port).
+  std::shared_ptr<Acceptor> listen(const std::string& host, int port);
+
+  /// Dials (to_host, port) from from_host. Sleeps one RTT of simulated time
+  /// for connection establishment, then returns the client socket. Throws
+  /// NetError if nobody is listening.
+  std::unique_ptr<Socket> connect(const std::string& from_host,
+                                  const std::string& to_host, int port,
+                                  const ConnectOptions& opts = {});
+
+  /// One-way latency between two registered hosts.
+  double latency(const std::string& a, const std::string& b) const;
+
+  /// Closes all acceptors (established sockets stay usable).
+  void shutdown();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, HostSpec> hosts_;
+  std::map<std::pair<std::string, int>, std::shared_ptr<Acceptor>> acceptors_;
+};
+
+}  // namespace remio::simnet

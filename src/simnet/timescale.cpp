@@ -1,0 +1,69 @@
+#include "simnet/timescale.hpp"
+
+#include <mutex>
+#include <thread>
+
+namespace remio::simnet {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ScaleState {
+  std::mutex mu;
+  double scale = 1.0;
+  double base_sim = 0.0;        // sim time at the last scale change
+  Clock::time_point base_wall;  // wall time at the last scale change
+
+  ScaleState() : base_wall(Clock::now()) {}
+};
+
+ScaleState& state() {
+  static ScaleState s;
+  return s;
+}
+
+double sim_now_locked(ScaleState& s) {
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - s.base_wall).count();
+  return s.base_sim + wall * s.scale;
+}
+
+}  // namespace
+
+double time_scale() {
+  ScaleState& s = state();
+  std::lock_guard lk(s.mu);
+  return s.scale;
+}
+
+void set_time_scale(double sim_per_wall) {
+  if (sim_per_wall <= 0.0) sim_per_wall = 1.0;
+  ScaleState& s = state();
+  std::lock_guard lk(s.mu);
+  s.base_sim = sim_now_locked(s);
+  s.base_wall = Clock::now();
+  s.scale = sim_per_wall;
+}
+
+double sim_now() {
+  ScaleState& s = state();
+  std::lock_guard lk(s.mu);
+  return sim_now_locked(s);
+}
+
+void sleep_sim(double sim_seconds) {
+  if (sim_seconds <= 0.0) return;
+  const double scale = time_scale();
+  std::this_thread::sleep_for(std::chrono::duration<double>(sim_seconds / scale));
+}
+
+std::chrono::steady_clock::time_point wall_deadline(double sim_deadline) {
+  ScaleState& s = state();
+  std::lock_guard lk(s.mu);
+  const double delta_sim = sim_deadline - sim_now_locked(s);
+  const double delta_wall = delta_sim / s.scale;
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(delta_wall > 0 ? delta_wall : 0));
+}
+
+}  // namespace remio::simnet

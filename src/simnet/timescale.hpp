@@ -1,0 +1,39 @@
+// Simulated-time support. All link rates, latencies and modelled compute
+// durations are expressed in *simulated seconds*; the global time scale maps
+// them onto wall-clock sleeps so a multi-thousand-second paper experiment
+// replays in seconds. Threads, queues and condition variables are real —
+// only durations are compressed.
+#pragma once
+
+#include <chrono>
+
+namespace remio::simnet {
+
+/// Simulated seconds per wall-clock second. Default 1 (real time).
+double time_scale();
+
+/// Changing the scale preserves sim-clock continuity (piecewise-linear map).
+void set_time_scale(double sim_per_wall);
+
+/// Monotonic simulated clock, in seconds, starting near process start.
+double sim_now();
+
+/// Sleep for `sim_seconds` of simulated time (>=0; 0 is a no-op).
+void sleep_sim(double sim_seconds);
+
+/// Wall-clock deadline corresponding to `sim_deadline` on the sim clock.
+std::chrono::steady_clock::time_point wall_deadline(double sim_deadline);
+
+/// RAII scale override for tests.
+class ScopedTimeScale {
+ public:
+  explicit ScopedTimeScale(double s) : prev_(time_scale()) { set_time_scale(s); }
+  ~ScopedTimeScale() { set_time_scale(prev_); }
+  ScopedTimeScale(const ScopedTimeScale&) = delete;
+  ScopedTimeScale& operator=(const ScopedTimeScale&) = delete;
+
+ private:
+  double prev_;
+};
+
+}  // namespace remio::simnet

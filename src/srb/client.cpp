@@ -1,0 +1,233 @@
+#include "srb/client.hpp"
+
+#include <algorithm>
+
+namespace remio::srb {
+
+SrbClient::SrbClient(simnet::Fabric& fabric, const std::string& from_host,
+                     const std::string& server_host, int port,
+                     const simnet::ConnectOptions& opts,
+                     const std::string& client_name)
+    : sock_(fabric.connect(from_host, server_host, port, opts)) {
+  connected_ = true;
+  Bytes payload;
+  ByteWriter w(payload);
+  w.str(client_name);
+  const Bytes resp = rpc_ok(Op::kConnect, payload, "connect");
+  ByteReader r(ByteSpan(resp.data(), resp.size()));
+  banner_ = r.str();
+}
+
+SrbClient::~SrbClient() {
+  try {
+    disconnect();
+  } catch (...) {
+    // Destructor must not throw; the socket teardown below is unconditional.
+  }
+  sock_->close();
+}
+
+Status SrbClient::rpc(Op op, const Bytes& payload, Bytes& response) {
+  std::lock_guard lk(mu_);
+  if (!connected_) throw SrbError(Status::kIoError, "client disconnected");
+  send_frame(*sock_, static_cast<std::uint8_t>(op),
+             ByteSpan(payload.data(), payload.size()));
+  Bytes frame;
+  if (!recv_frame(*sock_, frame))
+    throw SrbError(Status::kIoError, "server closed connection");
+  ByteReader r(ByteSpan(frame.data(), frame.size()));
+  const auto status = static_cast<Status>(r.i32());
+  if (!r.ok()) throw SrbError(Status::kProtocol, "malformed response");
+  const ByteSpan rest = r.rest();
+  response.assign(rest.begin(), rest.end());
+  return status;
+}
+
+Bytes SrbClient::rpc_ok(Op op, const Bytes& payload, const char* what) {
+  Bytes response;
+  const Status st = rpc(op, payload, response);
+  if (st != Status::kOk)
+    throw SrbError(st, std::string(what) + ": " + status_name(st));
+  return response;
+}
+
+std::int32_t SrbClient::open(const std::string& path, std::uint32_t flags) {
+  Bytes payload;
+  ByteWriter w(payload);
+  w.str(path);
+  w.u32(flags);
+  const Bytes resp = rpc_ok(Op::kObjOpen, payload, "open");
+  ByteReader r(ByteSpan(resp.data(), resp.size()));
+  return r.i32();
+}
+
+void SrbClient::close(std::int32_t fd) {
+  Bytes payload;
+  ByteWriter w(payload);
+  w.i32(fd);
+  rpc_ok(Op::kObjClose, payload, "close");
+}
+
+std::size_t SrbClient::pread(std::int32_t fd, MutByteSpan out, std::uint64_t offset) {
+  std::size_t total = 0;
+  while (total < out.size()) {
+    const std::size_t want = std::min(out.size() - total, kMaxIoChunk);
+    Bytes payload;
+    ByteWriter w(payload);
+    w.i32(fd);
+    w.i64(static_cast<std::int64_t>(offset + total));
+    w.u32(static_cast<std::uint32_t>(want));
+    const Bytes resp = rpc_ok(Op::kObjRead, payload, "read");
+    ByteReader r(ByteSpan(resp.data(), resp.size()));
+    const Bytes data = r.blob();
+    std::copy(data.begin(), data.end(), out.begin() + static_cast<std::ptrdiff_t>(total));
+    total += data.size();
+    if (data.size() < want) break;  // EOF
+  }
+  return total;
+}
+
+std::size_t SrbClient::pwrite(std::int32_t fd, ByteSpan data, std::uint64_t offset) {
+  std::size_t total = 0;
+  while (total < data.size()) {
+    const std::size_t n = std::min(data.size() - total, kMaxIoChunk);
+    Bytes payload;
+    ByteWriter w(payload);
+    w.i32(fd);
+    w.i64(static_cast<std::int64_t>(offset + total));
+    w.blob(data.subspan(total, n));
+    rpc_ok(Op::kObjWrite, payload, "write");
+    total += n;
+  }
+  return total;
+}
+
+std::size_t SrbClient::read(std::int32_t fd, MutByteSpan out) {
+  std::size_t total = 0;
+  while (total < out.size()) {
+    const std::size_t want = std::min(out.size() - total, kMaxIoChunk);
+    Bytes payload;
+    ByteWriter w(payload);
+    w.i32(fd);
+    w.i64(-1);
+    w.u32(static_cast<std::uint32_t>(want));
+    const Bytes resp = rpc_ok(Op::kObjRead, payload, "read");
+    ByteReader r(ByteSpan(resp.data(), resp.size()));
+    const Bytes data = r.blob();
+    std::copy(data.begin(), data.end(), out.begin() + static_cast<std::ptrdiff_t>(total));
+    total += data.size();
+    if (data.size() < want) break;
+  }
+  return total;
+}
+
+std::size_t SrbClient::write(std::int32_t fd, ByteSpan data) {
+  std::size_t total = 0;
+  while (total < data.size()) {
+    const std::size_t n = std::min(data.size() - total, kMaxIoChunk);
+    Bytes payload;
+    ByteWriter w(payload);
+    w.i32(fd);
+    w.i64(-1);
+    w.blob(data.subspan(total, n));
+    rpc_ok(Op::kObjWrite, payload, "write");
+    total += n;
+  }
+  return total;
+}
+
+std::int64_t SrbClient::seek(std::int32_t fd, std::int64_t offset, Whence whence) {
+  Bytes payload;
+  ByteWriter w(payload);
+  w.i32(fd);
+  w.i64(offset);
+  w.u8(static_cast<std::uint8_t>(whence));
+  const Bytes resp = rpc_ok(Op::kObjSeek, payload, "seek");
+  ByteReader r(ByteSpan(resp.data(), resp.size()));
+  return r.i64();
+}
+
+std::optional<ObjStat> SrbClient::stat(const std::string& path) {
+  Bytes payload;
+  ByteWriter w(payload);
+  w.str(path);
+  Bytes resp;
+  const Status st = rpc(Op::kObjStat, payload, resp);
+  if (st == Status::kNotFound) return std::nullopt;
+  if (st != Status::kOk) throw SrbError(st, std::string("stat: ") + status_name(st));
+  ByteReader r(ByteSpan(resp.data(), resp.size()));
+  ObjStat out;
+  out.size = r.u64();
+  out.object_id = r.u64();
+  out.resource = r.str();
+  return out;
+}
+
+void SrbClient::unlink(const std::string& path) {
+  Bytes payload;
+  ByteWriter w(payload);
+  w.str(path);
+  rpc_ok(Op::kObjUnlink, payload, "unlink");
+}
+
+void SrbClient::make_collection(const std::string& path) {
+  Bytes payload;
+  ByteWriter w(payload);
+  w.str(path);
+  rpc_ok(Op::kCollCreate, payload, "mkcoll");
+}
+
+std::vector<std::string> SrbClient::list(const std::string& collection) {
+  Bytes payload;
+  ByteWriter w(payload);
+  w.str(collection);
+  const Bytes resp = rpc_ok(Op::kCollList, payload, "list");
+  ByteReader r(ByteSpan(resp.data(), resp.size()));
+  const std::uint32_t count = r.u32();
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(r.str());
+  return out;
+}
+
+void SrbClient::set_attr(const std::string& path, const std::string& key,
+                         const std::string& value) {
+  Bytes payload;
+  ByteWriter w(payload);
+  w.str(path);
+  w.str(key);
+  w.str(value);
+  rpc_ok(Op::kSetAttr, payload, "set_attr");
+}
+
+std::optional<std::string> SrbClient::get_attr(const std::string& path,
+                                               const std::string& key) {
+  Bytes payload;
+  ByteWriter w(payload);
+  w.str(path);
+  w.str(key);
+  Bytes resp;
+  const Status st = rpc(Op::kGetAttr, payload, resp);
+  if (st == Status::kNotFound) return std::nullopt;
+  if (st != Status::kOk)
+    throw SrbError(st, std::string("get_attr: ") + status_name(st));
+  ByteReader r(ByteSpan(resp.data(), resp.size()));
+  return r.str();
+}
+
+void SrbClient::disconnect() {
+  {
+    std::lock_guard lk(mu_);
+    if (!connected_) return;
+  }
+  Bytes resp;
+  try {
+    rpc(Op::kDisconnect, {}, resp);
+  } catch (...) {
+    // Server may already be gone; disconnect is best-effort.
+  }
+  std::lock_guard lk(mu_);
+  connected_ = false;
+}
+
+}  // namespace remio::srb

@@ -1,0 +1,96 @@
+// Synchronous SRB client — the POSIX-equivalent blocking API (§3.1). This
+// is deliberately *synchronous only*, exactly like the real SRB: the
+// asynchronous capability lives one layer up in SEMPLAR (src/core), built
+// with dedicated I/O threads over these blocking calls (§4.3).
+//
+// A client owns one TCP stream to the broker. SEMPLAR opens one client per
+// stream, so each I/O thread drives its own connection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simnet/fabric.hpp"
+#include "srb/protocol.hpp"
+
+namespace remio::srb {
+
+class SrbError : public std::runtime_error {
+ public:
+  SrbError(Status status, const std::string& what)
+      : std::runtime_error(what), status_(status) {}
+  Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+struct ObjStat {
+  std::uint64_t size = 0;
+  std::uint64_t object_id = 0;
+  std::string resource;
+};
+
+class SrbClient {
+ public:
+  /// Dials the broker and performs the Connect handshake (one extra RTT,
+  /// like the real SRB login). Throws on failure.
+  SrbClient(simnet::Fabric& fabric, const std::string& from_host,
+            const std::string& server_host, int port,
+            const simnet::ConnectOptions& opts = {},
+            const std::string& client_name = "remio-client");
+  ~SrbClient();
+
+  SrbClient(const SrbClient&) = delete;
+  SrbClient& operator=(const SrbClient&) = delete;
+
+  /// Opens (optionally creating/truncating) a data object; returns a
+  /// server-side descriptor. Throws SrbError on failure.
+  std::int32_t open(const std::string& path, std::uint32_t flags);
+  void close(std::int32_t fd);
+
+  /// pread/pwrite (explicit offset, does not move the file pointer).
+  std::size_t pread(std::int32_t fd, MutByteSpan out, std::uint64_t offset);
+  std::size_t pwrite(std::int32_t fd, ByteSpan data, std::uint64_t offset);
+
+  /// read/write at the (server-side) individual file pointer.
+  std::size_t read(std::int32_t fd, MutByteSpan out);
+  std::size_t write(std::int32_t fd, ByteSpan data);
+  std::int64_t seek(std::int32_t fd, std::int64_t offset, Whence whence);
+
+  std::optional<ObjStat> stat(const std::string& path);
+  void unlink(const std::string& path);
+  void make_collection(const std::string& path);
+  std::vector<std::string> list(const std::string& collection);
+  void set_attr(const std::string& path, const std::string& key,
+                const std::string& value);
+  std::optional<std::string> get_attr(const std::string& path,
+                                      const std::string& key);
+
+  /// Orderly disconnect; further calls fail. Idempotent.
+  void disconnect();
+
+  const std::string& server_banner() const { return banner_; }
+  std::uint64_t bytes_sent() const { return sock_->bytes_sent(); }
+  std::uint64_t bytes_received() const { return sock_->bytes_received(); }
+
+  /// Writes larger than this are split into multiple protocol messages.
+  static constexpr std::size_t kMaxIoChunk = 8u << 20;
+
+ private:
+  /// Sends a request and receives its response body; returns the status.
+  Status rpc(Op op, const Bytes& payload, Bytes& response);
+  /// Like rpc() but throws SrbError unless status == kOk.
+  Bytes rpc_ok(Op op, const Bytes& payload, const char* what);
+
+  std::unique_ptr<simnet::Socket> sock_;
+  std::mutex mu_;  // serializes request/response pairs on the stream
+  std::string banner_;
+  bool connected_ = false;
+};
+
+}  // namespace remio::srb

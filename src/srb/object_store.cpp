@@ -1,0 +1,81 @@
+#include "srb/object_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace remio::srb {
+
+ObjectStore::ObjectStore(const StoreConfig& cfg)
+    : disk_read_(cfg.disk_read_rate, 0.0, "disk-read"),
+      disk_write_(cfg.disk_write_rate, 0.0, "disk-write") {}
+
+void ObjectStore::create(ObjectId id) {
+  std::lock_guard lk(mu_);
+  if (objects_.count(id) == 0) objects_[id] = std::make_shared<Object>();
+}
+
+void ObjectStore::remove(ObjectId id) {
+  std::lock_guard lk(mu_);
+  objects_.erase(id);
+}
+
+bool ObjectStore::exists(ObjectId id) const {
+  std::lock_guard lk(mu_);
+  return objects_.count(id) != 0;
+}
+
+std::shared_ptr<ObjectStore::Object> ObjectStore::find(ObjectId id) const {
+  std::lock_guard lk(mu_);
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) throw std::out_of_range("no such object");
+  return it->second;
+}
+
+std::size_t ObjectStore::pread(ObjectId id, MutByteSpan out, std::uint64_t offset) {
+  auto obj = find(id);
+  std::size_t n = 0;
+  {
+    std::lock_guard lk(obj->mu);
+    if (offset < obj->data.size()) {
+      n = std::min<std::size_t>(out.size(), obj->data.size() - offset);
+      std::copy_n(obj->data.data() + offset, n, out.data());
+    }
+  }
+  disk_read_.acquire(n);  // charge outside the object lock
+  return n;
+}
+
+void ObjectStore::pwrite(ObjectId id, ByteSpan data, std::uint64_t offset) {
+  auto obj = find(id);
+  {
+    std::lock_guard lk(obj->mu);
+    const std::uint64_t end = offset + data.size();
+    if (obj->data.size() < end) obj->data.resize(end, '\0');
+    std::copy_n(data.data(), data.size(), obj->data.data() + offset);
+  }
+  disk_write_.acquire(data.size());
+}
+
+void ObjectStore::truncate(ObjectId id, std::uint64_t size) {
+  auto obj = find(id);
+  std::lock_guard lk(obj->mu);
+  obj->data.resize(size, '\0');
+}
+
+std::uint64_t ObjectStore::size(ObjectId id) const {
+  auto obj = find(id);
+  std::lock_guard lk(obj->mu);
+  return obj->data.size();
+}
+
+std::uint64_t ObjectStore::total_bytes() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [id, obj] : objects_) {
+    std::lock_guard olk(obj->mu);
+    total += obj->data.size();
+  }
+  return total;
+}
+
+}  // namespace remio::srb

@@ -1,0 +1,59 @@
+// Physical object store behind the broker: sparse in-memory byte objects
+// with token-bucket shaped "disk" service rates. Reads are served faster
+// than writes (cache vs. commit), which is what skews the paper's Fig. 8
+// read gains above the write gains.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/bytes.hpp"
+#include "simnet/token_bucket.hpp"
+#include "srb/mcat.hpp"
+
+namespace remio::srb {
+
+struct StoreConfig {
+  /// Bytes per simulated second; 0 = unshaped.
+  double disk_read_rate = 0.0;
+  double disk_write_rate = 0.0;
+};
+
+class ObjectStore {
+ public:
+  explicit ObjectStore(const StoreConfig& cfg = {});
+
+  /// Ensures the object exists (created empty on first touch).
+  void create(ObjectId id);
+  void remove(ObjectId id);
+  bool exists(ObjectId id) const;
+
+  /// pread semantics: reads up to out.size() bytes at `offset`; returns the
+  /// count actually read (short at EOF, 0 past EOF).
+  std::size_t pread(ObjectId id, MutByteSpan out, std::uint64_t offset);
+
+  /// pwrite semantics: writes all of `data` at `offset`, zero-extending any
+  /// gap. Concurrent writers to disjoint ranges are safe.
+  void pwrite(ObjectId id, ByteSpan data, std::uint64_t offset);
+
+  void truncate(ObjectId id, std::uint64_t size);
+  std::uint64_t size(ObjectId id) const;
+
+  std::uint64_t total_bytes() const;
+
+ private:
+  struct Object {
+    mutable std::mutex mu;
+    Bytes data;
+  };
+
+  std::shared_ptr<Object> find(ObjectId id) const;
+
+  mutable std::mutex mu_;
+  std::map<ObjectId, std::shared_ptr<Object>> objects_;
+  simnet::TokenBucket disk_read_;
+  simnet::TokenBucket disk_write_;
+};
+
+}  // namespace remio::srb

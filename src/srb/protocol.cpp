@@ -1,0 +1,60 @@
+#include "srb/protocol.hpp"
+
+namespace remio::srb {
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kNotFound: return "not found";
+    case Status::kExists: return "already exists";
+    case Status::kBadFd: return "bad file descriptor";
+    case Status::kIoError: return "I/O error";
+    case Status::kProtocol: return "protocol error";
+    case Status::kInvalid: return "invalid argument";
+    case Status::kNoMcat: return "MCAT unavailable";
+  }
+  return "unknown";
+}
+
+namespace {
+void send_framed(simnet::Socket& sock, ByteSpan head, ByteSpan body) {
+  Bytes msg;
+  msg.reserve(4 + head.size() + body.size());
+  ByteWriter w(msg);
+  w.u32(static_cast<std::uint32_t>(head.size() + body.size()));
+  w.raw(head);
+  w.raw(body);
+  sock.send_all(msg);
+}
+}  // namespace
+
+void send_frame(simnet::Socket& sock, std::uint8_t head, ByteSpan body) {
+  const char h = static_cast<char>(head);
+  send_framed(sock, ByteSpan(&h, 1), body);
+}
+
+void send_frame2(simnet::Socket& sock, std::int32_t status, ByteSpan body) {
+  Bytes head;
+  ByteWriter w(head);
+  w.i32(status);
+  send_framed(sock, head, body);
+}
+
+bool recv_frame(simnet::Socket& sock, Bytes& out) {
+  char lenbuf[4];
+  const std::size_t first = sock.recv_some(MutByteSpan(lenbuf, 4));
+  if (first == 0) return false;  // clean EOF between frames
+  if (first < 4 && !sock.recv_all(MutByteSpan(lenbuf + first, 4 - first)))
+    throw simnet::NetError("truncated frame length");
+
+  std::uint32_t len;
+  std::memcpy(&len, lenbuf, 4);
+  if (len == 0 || len > kMaxMessage) throw simnet::NetError("bad frame length");
+
+  out.resize(len);
+  if (!sock.recv_all(MutByteSpan(out.data(), out.size())))
+    throw simnet::NetError("truncated frame body");
+  return true;
+}
+
+}  // namespace remio::srb

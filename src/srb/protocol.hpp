@@ -1,0 +1,70 @@
+// SRB wire protocol: length-framed request/response messages over a simnet
+// socket. The verbs mirror the POSIX-equivalent synchronous API the real SRB
+// exports (§3.1) — open/read/write/seek/close plus catalog operations.
+//
+//   request  := len:u32 opcode:u8 payload
+//   response := len:u32 status:i32 payload
+//
+// len counts the bytes after the length field itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "simnet/socket.hpp"
+
+namespace remio::srb {
+
+enum class Op : std::uint8_t {
+  kConnect = 1,
+  kDisconnect = 2,
+  kObjOpen = 3,
+  kObjClose = 4,
+  kObjRead = 5,
+  kObjWrite = 6,
+  kObjSeek = 7,
+  kObjStat = 8,
+  kObjUnlink = 9,
+  kCollCreate = 10,
+  kCollList = 11,
+  kSetAttr = 12,
+  kGetAttr = 13,
+};
+
+enum class Status : std::int32_t {
+  kOk = 0,
+  kNotFound = -1,
+  kExists = -2,
+  kBadFd = -3,
+  kIoError = -4,
+  kProtocol = -5,
+  kInvalid = -6,
+  kNoMcat = -7,
+};
+
+const char* status_name(Status s);
+
+/// Open flags (bitmask).
+enum OpenFlags : std::uint32_t {
+  kRead = 1u << 0,
+  kWrite = 1u << 1,
+  kCreate = 1u << 2,
+  kTrunc = 1u << 3,
+};
+
+/// Seek whence, matching POSIX semantics.
+enum class Whence : std::uint8_t { kSet = 0, kCur = 1, kEnd = 2 };
+
+/// Hard cap on a single message; protects the server from hostile lengths.
+constexpr std::uint32_t kMaxMessage = 128u << 20;
+
+/// Sends one framed message: [len][head][body...].
+void send_frame(simnet::Socket& sock, std::uint8_t head, ByteSpan body);
+void send_frame2(simnet::Socket& sock, std::int32_t status, ByteSpan body);
+
+/// Receives one framed message; returns false on clean EOF before a frame.
+/// Throws simnet::NetError on mid-frame EOF or oversized frames.
+bool recv_frame(simnet::Socket& sock, Bytes& out);
+
+}  // namespace remio::srb

@@ -1,0 +1,351 @@
+#include "srb/server.hpp"
+
+#include <map>
+
+#include "common/log.hpp"
+
+namespace remio::srb {
+
+// ---------------------------------------------------------------------------
+// Session: one connected client, its fd table, and the dispatch loop.
+// ---------------------------------------------------------------------------
+class SrbServer::Session {
+ public:
+  Session(SrbServer& server, std::unique_ptr<simnet::Socket> sock)
+      : server_(server), sock_(std::move(sock)) {}
+
+  ~Session() { join(); }
+
+  void run_async(std::shared_ptr<Session> self) {
+    thread_ = std::thread([self] { self->loop(); });
+  }
+
+  void force_close() { sock_->close(); }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  struct FdState {
+    ObjectId object = kInvalidObject;
+    std::string path;
+    std::uint64_t fp = 0;  // individual file pointer
+    std::uint32_t flags = 0;
+  };
+
+  void loop() {
+    try {
+      Bytes frame;
+      while (recv_frame(*sock_, frame)) {
+        ByteReader r(ByteSpan(frame.data(), frame.size()));
+        const auto op = static_cast<Op>(r.u8());
+        if (!dispatch(op, r)) break;
+      }
+    } catch (const simnet::NetError& e) {
+      REMIO_LOG_DEBUG("srb session ended: ", e.what());
+    } catch (const std::exception& e) {
+      REMIO_LOG_WARN("srb session error: ", e.what());
+    }
+    sock_->close();
+  }
+
+  void reply(Status st) { send_frame2(*sock_, static_cast<std::int32_t>(st), {}); }
+
+  void reply(Status st, const Bytes& body) {
+    send_frame2(*sock_, static_cast<std::int32_t>(st),
+                ByteSpan(body.data(), body.size()));
+  }
+
+  bool dispatch(Op op, ByteReader& r) {
+    switch (op) {
+      case Op::kConnect: {
+        (void)r.str();  // client name (logged only)
+        Bytes body;
+        ByteWriter w(body);
+        w.str(server_.cfg_.banner);
+        reply(Status::kOk, body);
+        return true;
+      }
+      case Op::kDisconnect:
+        reply(Status::kOk);
+        return false;
+
+      case Op::kObjOpen: return handle_open(r);
+      case Op::kObjClose: return handle_close(r);
+      case Op::kObjRead: return handle_read(r);
+      case Op::kObjWrite: return handle_write(r);
+      case Op::kObjSeek: return handle_seek(r);
+      case Op::kObjStat: return handle_stat(r);
+      case Op::kObjUnlink: return handle_unlink(r);
+      case Op::kCollCreate: return handle_mkcoll(r);
+      case Op::kCollList: return handle_list(r);
+      case Op::kSetAttr: return handle_set_attr(r);
+      case Op::kGetAttr: return handle_get_attr(r);
+    }
+    reply(Status::kProtocol);
+    return false;
+  }
+
+  bool handle_open(ByteReader& r) {
+    const std::string path = r.str();
+    const std::uint32_t flags = r.u32();
+    if (!r.ok()) return proto_error();
+
+    auto id = server_.mcat_.resolve(path);
+    if (!id && (flags & kCreate)) {
+      // Auto-create parent collections, matching SRB's container behaviour.
+      server_.mcat_.make_collection(Mcat::parent_of(path));
+      id = server_.mcat_.register_object(path, server_.cfg_.resource);
+      // Another session may have won the create race; the open still
+      // succeeds against the object it registered.
+      if (!id) id = server_.mcat_.resolve(path);
+    }
+    if (!id) {
+      reply(Status::kNotFound);
+      return true;
+    }
+    server_.store_.create(*id);
+    if (flags & kTrunc) server_.store_.truncate(*id, 0);
+
+    FdState st;
+    st.object = *id;
+    st.path = Mcat::normalize(path);
+    st.flags = flags;
+    const std::int32_t fd = next_fd_++;
+    fds_[fd] = st;
+
+    Bytes body;
+    ByteWriter w(body);
+    w.i32(fd);
+    reply(Status::kOk, body);
+    return true;
+  }
+
+  bool handle_close(ByteReader& r) {
+    const std::int32_t fd = r.i32();
+    if (!r.ok()) return proto_error();
+    reply(fds_.erase(fd) != 0 ? Status::kOk : Status::kBadFd);
+    return true;
+  }
+
+  bool handle_read(ByteReader& r) {
+    const std::int32_t fd = r.i32();
+    const std::int64_t offset = r.i64();
+    const std::uint32_t len = r.u32();
+    if (!r.ok() || len > kMaxMessage / 2) return proto_error();
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      reply(Status::kBadFd);
+      return true;
+    }
+    FdState& st = it->second;
+    if ((st.flags & kRead) == 0) {
+      reply(Status::kInvalid);
+      return true;
+    }
+    const std::uint64_t at = offset >= 0 ? static_cast<std::uint64_t>(offset) : st.fp;
+    Bytes data(len);
+    const std::size_t n =
+        server_.store_.pread(st.object, MutByteSpan(data.data(), data.size()), at);
+    data.resize(n);
+    if (offset < 0) st.fp = at + n;
+
+    Bytes body;
+    ByteWriter w(body);
+    w.blob(ByteSpan(data.data(), data.size()));
+    reply(Status::kOk, body);
+    return true;
+  }
+
+  bool handle_write(ByteReader& r) {
+    const std::int32_t fd = r.i32();
+    const std::int64_t offset = r.i64();
+    // Zero-copy: the payload is written straight from the request frame.
+    const ByteSpan data = r.blob_view();
+    if (!r.ok()) return proto_error();
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      reply(Status::kBadFd);
+      return true;
+    }
+    FdState& st = it->second;
+    if ((st.flags & kWrite) == 0) {
+      reply(Status::kInvalid);
+      return true;
+    }
+    const std::uint64_t at = offset >= 0 ? static_cast<std::uint64_t>(offset) : st.fp;
+    server_.store_.pwrite(st.object, data, at);
+    if (offset < 0) st.fp = at + data.size();
+
+    Bytes body;
+    ByteWriter w(body);
+    w.u32(static_cast<std::uint32_t>(data.size()));
+    reply(Status::kOk, body);
+    return true;
+  }
+
+  bool handle_seek(ByteReader& r) {
+    const std::int32_t fd = r.i32();
+    const std::int64_t off = r.i64();
+    const auto whence = static_cast<Whence>(r.u8());
+    if (!r.ok()) return proto_error();
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      reply(Status::kBadFd);
+      return true;
+    }
+    FdState& st = it->second;
+    std::int64_t base = 0;
+    switch (whence) {
+      case Whence::kSet: base = 0; break;
+      case Whence::kCur: base = static_cast<std::int64_t>(st.fp); break;
+      case Whence::kEnd:
+        base = static_cast<std::int64_t>(server_.store_.size(st.object));
+        break;
+    }
+    const std::int64_t pos = base + off;
+    if (pos < 0) {
+      reply(Status::kInvalid);
+      return true;
+    }
+    st.fp = static_cast<std::uint64_t>(pos);
+    Bytes body;
+    ByteWriter w(body);
+    w.i64(pos);
+    reply(Status::kOk, body);
+    return true;
+  }
+
+  bool handle_stat(ByteReader& r) {
+    const std::string path = r.str();
+    if (!r.ok()) return proto_error();
+    const auto meta = server_.mcat_.meta(path);
+    if (!meta) {
+      reply(Status::kNotFound);
+      return true;
+    }
+    Bytes body;
+    ByteWriter w(body);
+    w.u64(server_.store_.exists(meta->id) ? server_.store_.size(meta->id) : 0);
+    w.u64(meta->id);
+    w.str(meta->resource);
+    reply(Status::kOk, body);
+    return true;
+  }
+
+  bool handle_unlink(ByteReader& r) {
+    const std::string path = r.str();
+    if (!r.ok()) return proto_error();
+    const auto id = server_.mcat_.unregister_object(path);
+    if (!id) {
+      reply(Status::kNotFound);
+      return true;
+    }
+    server_.store_.remove(*id);
+    reply(Status::kOk);
+    return true;
+  }
+
+  bool handle_mkcoll(ByteReader& r) {
+    const std::string path = r.str();
+    if (!r.ok()) return proto_error();
+    reply(server_.mcat_.make_collection(path) ? Status::kOk : Status::kExists);
+    return true;
+  }
+
+  bool handle_list(ByteReader& r) {
+    const std::string path = r.str();
+    if (!r.ok()) return proto_error();
+    if (!server_.mcat_.collection_exists(path)) {
+      reply(Status::kNotFound);
+      return true;
+    }
+    const auto entries = server_.mcat_.list(path);
+    Bytes body;
+    ByteWriter w(body);
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& e : entries) w.str(e);
+    reply(Status::kOk, body);
+    return true;
+  }
+
+  bool handle_set_attr(ByteReader& r) {
+    const std::string path = r.str();
+    const std::string key = r.str();
+    const std::string value = r.str();
+    if (!r.ok()) return proto_error();
+    reply(server_.mcat_.set_attr(path, key, value) ? Status::kOk : Status::kNotFound);
+    return true;
+  }
+
+  bool handle_get_attr(ByteReader& r) {
+    const std::string path = r.str();
+    const std::string key = r.str();
+    if (!r.ok()) return proto_error();
+    const auto value = server_.mcat_.get_attr(path, key);
+    if (!value) {
+      reply(Status::kNotFound);
+      return true;
+    }
+    Bytes body;
+    ByteWriter w(body);
+    w.str(*value);
+    reply(Status::kOk, body);
+    return true;
+  }
+
+  bool proto_error() {
+    reply(Status::kProtocol);
+    return false;
+  }
+
+  SrbServer& server_;
+  std::unique_ptr<simnet::Socket> sock_;
+  std::thread thread_;
+  std::map<std::int32_t, FdState> fds_;
+  std::int32_t next_fd_ = 3;
+};
+
+// ---------------------------------------------------------------------------
+// SrbServer
+// ---------------------------------------------------------------------------
+SrbServer::SrbServer(simnet::Fabric& fabric, ServerConfig cfg)
+    : fabric_(fabric), cfg_(std::move(cfg)), store_(cfg_.store) {}
+
+SrbServer::~SrbServer() { stop(); }
+
+void SrbServer::start() {
+  if (running_.exchange(true)) return;
+  acceptor_ = fabric_.listen(cfg_.host, cfg_.port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SrbServer::accept_loop() {
+  while (true) {
+    auto sock = acceptor_->accept();
+    if (!sock) break;
+    auto session = std::make_shared<Session>(*this, std::move(*sock));
+    {
+      std::lock_guard lk(sessions_mu_);
+      sessions_.push_back(session);
+    }
+    ++sessions_served_;
+    session->run_async(session);
+  }
+}
+
+void SrbServer::stop() {
+  if (!running_.exchange(false)) return;
+  acceptor_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard lk(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (auto& s : sessions) s->force_close();
+  for (auto& s : sessions) s->join();
+}
+
+}  // namespace remio::srb

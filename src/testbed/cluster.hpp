@@ -1,0 +1,79 @@
+// Declarative models of the paper's §5 testbed: the three client clusters
+// (DAS-2, OSC P4, NCSA TeraGrid) and the SDSC SRB server `orion`. All rates
+// are bytes per simulated second; latencies are one-way simulated seconds.
+//
+// The numbers encode what the results depend on:
+//  * DAS-2: transoceanic link, RTT ~182 ms -> a 64 KiB-window TCP stream
+//    moves ~0.36 MB/s, so a second stream nearly doubles throughput (§7.2);
+//    Fast Ethernet NICs; shared uplink.
+//  * OSC P4: RTT ~30 ms, but every WAN flow traverses one NAT host — the
+//    shared NAT bucket is why doubling connections gains little (§7.1).
+//  * TG-NCSA: RTT ~30 ms, GigE nodes, 40 Gb/s backbone — per-stream window
+//    cap is the only client-side constraint.
+//  * orion: 6 data GigE NICs (modelled as one aggregate bucket), fast read
+//    path (cache) vs slower write commit path — which is what separates the
+//    Fig. 8 read gains from the write gains.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace remio::testbed {
+
+constexpr double kMbit = 1e6 / 8.0;  // bytes per second in one Mb/s
+constexpr double kMB = 1e6;
+
+struct ClusterSpec {
+  std::string name;
+  int max_nodes = 32;
+
+  double one_way_to_core = 0.015;  // client side of the WAN path
+  std::size_t tcp_window = 64 * 1024;
+
+  double node_nic_rate = 100 * kMbit;  // per-node WAN NIC, each direction
+  /// The node's internal I/O bus, shared by the WAN NIC *and* the cluster
+  /// interconnect NIC in both directions — the §7.1 contention resource.
+  double node_bus_rate = 400 * kMbit;
+  /// Destructive-contention factor applied to the bus while both MPI and
+  /// WAN traffic use it concurrently (arbitration + TCP starvation; 1 =
+  /// work-conserving sharing only). See TokenBucket::set_contention.
+  double bus_contention_penalty = 1.0;
+
+  double uplink_out_rate = 0.0;  // cluster WAN uplink, client->server (0 = inf)
+  double uplink_in_rate = 0.0;   // server->client direction
+
+  bool nat = false;          // all WAN flows share one NAT host
+  double nat_rate = 0.0;     // NAT forwarding capacity (both directions)
+
+  double mpi_latency = 50e-6;            // interconnect one-way latency
+  double mpi_rate = 100 * kMbit;         // per-node interconnect bandwidth
+
+  /// Relative CPU speed (1.0 = DAS-2's 1 GHz P-III); scales modelled
+  /// compute-phase durations.
+  double cpu_speed = 1.0;
+};
+
+struct ServerSpec {
+  std::string host = "orion";
+  int port = 5544;
+  double one_way_to_core = 0.0;     // latency folded into the cluster side
+  double nic_rate = 6 * 1000 * kMbit;  // 6 data GigE NICs, aggregated
+  double disk_read_rate = 160 * kMB;   // cached read path
+  double disk_write_rate = 14 * kMB;   // commit path (tape-backed store):
+                                       // this is what caps aggregate write
+                                       // scaling in Fig. 7/8 on TG-NCSA
+};
+
+/// DAS-2 (Vrije Universiteit Amsterdam): high latency, low bandwidth.
+ClusterSpec das2();
+/// OSC Pentium 4 Xeon cluster: low latency, NAT-bottlenecked.
+ClusterSpec osc_p4();
+/// NCSA TeraGrid cluster: low latency, high bandwidth.
+ClusterSpec tg_ncsa();
+/// SDSC `orion` SRB server.
+ServerSpec sdsc_orion();
+
+/// Preset lookup by name ("das2" | "osc" | "tg"); throws std::out_of_range.
+ClusterSpec cluster_by_name(const std::string& name);
+
+}  // namespace remio::testbed

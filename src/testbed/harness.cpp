@@ -1,0 +1,35 @@
+#include "testbed/harness.hpp"
+
+#include <cstdio>
+
+#include "simnet/timescale.hpp"
+
+namespace remio::testbed {
+
+void apply_time_scale(const Options& opts) {
+  simnet::set_time_scale(opts.get_double("scale", kDefaultTimeScale));
+}
+
+std::vector<ClusterSpec> clusters_from(const Options& opts) {
+  std::vector<ClusterSpec> out;
+  for (const auto& name : opts.get_list("clusters", {"das2", "osc", "tg"}))
+    out.push_back(cluster_by_name(name));
+  return out;
+}
+
+std::vector<int> procs_from(const Options& opts, std::vector<int> def) {
+  return opts.get_int_list("procs", std::move(def));
+}
+
+double pct_gain(double base, double better) {
+  if (base == 0.0) return 0.0;
+  return (better - base) / base * 100.0;
+}
+
+void emit(const Options& opts, const std::string& title, const Table& table) {
+  std::printf("\n== %s ==\n%s", title.c_str(), table.to_text().c_str());
+  if (opts.get_bool("csv", false)) std::printf("%s", table.to_csv().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace remio::testbed

@@ -1,0 +1,33 @@
+// Small helpers shared by the figure-reproduction bench binaries: scale
+// setup, proc-count sweeps, improvement summaries, and table output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "testbed/cluster.hpp"
+
+namespace remio::testbed {
+
+/// Default simulated-seconds-per-wall-second for bench sweeps.
+constexpr double kDefaultTimeScale = 100.0;
+
+/// Applies --scale (or the default) to the global sim clock.
+void apply_time_scale(const Options& opts);
+
+/// Parses --clusters=das2,osc,tg (default: all three).
+std::vector<ClusterSpec> clusters_from(const Options& opts);
+
+/// Parses --procs=2,4,... with a figure-specific default sweep.
+std::vector<int> procs_from(const Options& opts, std::vector<int> def);
+
+/// Percentage improvement of `better` over `base` ((base-better)/base or
+/// (better-base)/base for bandwidths — pass what the paper reports).
+double pct_gain(double base, double better);
+
+/// Prints a titled table in text (and CSV if --csv was passed).
+void emit(const Options& opts, const std::string& title, const Table& table);
+
+}  // namespace remio::testbed

@@ -1,0 +1,29 @@
+#include "testbed/phase.hpp"
+
+#include "simnet/timescale.hpp"
+
+namespace remio::testbed {
+
+PhaseTimer::PhaseTimer() : phase_start_(now()) {}
+
+double PhaseTimer::now() const { return simnet::sim_now(); }
+
+void PhaseTimer::enter(Phase p) {
+  const double t = now();
+  switch (current_) {
+    case Phase::kCompute: compute_ += t - phase_start_; break;
+    case Phase::kIo: io_ += t - phase_start_; break;
+    case Phase::kNone: break;
+  }
+  current_ = p;
+  phase_start_ = t;
+}
+
+void PhaseTimer::stop() { enter(Phase::kNone); }
+
+void PhaseTimer::merge(const PhaseTimer& other) {
+  compute_ += other.compute_;
+  io_ += other.io_;
+}
+
+}  // namespace remio::testbed

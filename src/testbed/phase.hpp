@@ -1,0 +1,42 @@
+// Per-rank phase accounting on the simulated clock. The paper derives its
+// "maximum speedup" line by measuring the computation and I/O phase
+// durations separately: with perfect overlap the expected execution time is
+// the larger of the two (§7.1). PhaseTimer reproduces that bookkeeping.
+#pragma once
+
+#include <string>
+
+namespace remio::testbed {
+
+enum class Phase { kNone, kCompute, kIo };
+
+class PhaseTimer {
+ public:
+  PhaseTimer();
+
+  /// Switches the current phase, accumulating time into the previous one.
+  void enter(Phase p);
+  /// Ends the current phase (accumulates into it).
+  void stop();
+
+  double compute_seconds() const { return compute_; }
+  double io_seconds() const { return io_; }
+  double total_seconds() const { return compute_ + io_; }
+
+  /// Expected execution time under perfect computation/I-O overlap.
+  double max_overlap_expected() const {
+    return compute_ > io_ ? compute_ : io_;
+  }
+
+  /// Merges another rank's timer (phase sums add; used for averages).
+  void merge(const PhaseTimer& other);
+
+ private:
+  double now() const;
+  Phase current_ = Phase::kNone;
+  double phase_start_ = 0.0;
+  double compute_ = 0.0;
+  double io_ = 0.0;
+};
+
+}  // namespace remio::testbed

@@ -1,0 +1,105 @@
+// The paper's three benchmarks (§6), implemented once and shared by the
+// test suite and the figure-reproduction benches:
+//   * 2-D Laplace solver with periodic checkpointing (Fig. 4 / Fig. 7)
+//   * MPI-BLAST master/worker search (Fig. 5 / Fig. 6)
+//   * ROMIO `perf` bandwidth microbenchmark (Fig. 8)
+//   * on-the-fly compression writer (Fig. 9)
+//
+// Compute phases are modelled on the simulated clock (Testbed::compute);
+// the examples/ directory runs the real kernels. I/O is real end-to-end:
+// SEMPLAR -> SRB protocol -> shaped fabric -> broker -> object store.
+#pragma once
+
+#include <string>
+
+#include "testbed/world.hpp"
+
+namespace remio::testbed {
+
+/// Common result of one job run; times in simulated seconds.
+struct RunResult {
+  double exec = 0.0;              // whole-job execution time
+  double compute_phase = 0.0;     // mean per-rank computation-phase total
+  double io_phase = 0.0;          // mean per-rank I/O-phase total
+  double expected_overlap = 0.0;  // mean per-rank max(compute, io) (§7.1)
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+// --- 2-D Laplace solver (Fig. 4 pseudocode) --------------------------------
+
+/// Where the MPIO_Wait sits relative to the MPI communication — the §7.1
+/// contention experiment moves it from position 1 to position 2 of Fig. 4.
+enum class WaitPlacement {
+  kBeforeNextWrite,  // position 1: I/O overlaps compute AND MPI comm
+  kBeforeComm,       // position 2: I/O overlaps pure compute only
+};
+
+struct LaplaceParams {
+  /// One checkpoint of the full grid, striped across ranks by row block.
+  std::size_t checkpoint_bytes = 24u << 20;
+  int checkpoints = 3;
+  int iters_per_checkpoint = 6;
+  /// Total single-CPU compute work for the whole run, in DAS-2 CPU
+  /// sim-seconds; divided by ranks and by the cluster's cpu_speed.
+  double compute_total = 22.0;
+  std::size_t halo_bytes = 24 * 1024;  // one 3001-double grid row
+  bool async = false;
+  int streams = 1;
+  WaitPlacement wait = WaitPlacement::kBeforeNextWrite;
+  std::string path = "/scratch/laplace.ckpt";
+};
+
+RunResult run_laplace(Testbed& tb, int procs, const LaplaceParams& p);
+
+// --- MPI-BLAST (Fig. 5 pseudocode) ------------------------------------------
+
+struct BlastParams {
+  int queries = 96;
+  std::size_t report_bytes = 50u << 10;  // §7.1: ~50 KB output per sequence
+  /// Single-CPU compute per query in DAS-2 CPU sim-seconds (scaled by the
+  /// cluster's cpu_speed). Default targets the paper's ~4:1 compute:I/O.
+  double compute_per_query = 1.0;
+  bool async = false;
+  std::string path_prefix = "/blast/out";
+};
+
+/// procs counts the master too (paper's x axis); procs >= 2.
+RunResult run_mpi_blast(Testbed& tb, int procs, const BlastParams& p);
+
+// --- ROMIO perf (Fig. 8) -----------------------------------------------------
+
+struct PerfParams {
+  std::size_t array_bytes = 8u << 20;  // per rank (paper: 32 MB)
+  int streams = 1;
+  int io_threads = 0;  // 0 = one per stream (the §4.3 ideal)
+  std::string path = "/scratch/perf.dat";
+  bool verify = true;  // spot-check read-back contents
+};
+
+struct PerfResult {
+  double write_bw = 0.0;  // aggregate bytes per sim-second
+  double read_bw = 0.0;
+};
+
+PerfResult run_perf(Testbed& tb, int procs, const PerfParams& p);
+
+// --- on-the-fly compression (Fig. 9) ----------------------------------------
+
+struct CompressParams {
+  std::size_t data_bytes = 4u << 20;   // per rank (paper: 100 MB)
+  std::size_t block_bytes = 1u << 20;  // §7.3 pipelines 1 MB blocks
+  bool async_compressed = false;       // false = synchronous uncompressed
+  std::string codec = "lzmini";
+  std::string path_prefix = "/compr/out";
+  bool verify = false;  // decompress and compare after timing
+};
+
+struct CompressResult {
+  double agg_write_bw = 0.0;      // application bytes per sim-second
+  double compression_ratio = 1.0; // raw / wire
+};
+
+CompressResult run_compress(Testbed& tb, int procs, const CompressParams& p);
+
+}  // namespace remio::testbed

@@ -1,0 +1,73 @@
+// Testbed: instantiates one experiment world — the fabric with a cluster's
+// nodes and shared resources, the SRB server, per-rank SEMPLAR configs, and
+// the MPI transport model that charges interconnect traffic to the same
+// node I/O bus the WAN NIC uses (§7.1 contention).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "minimpi/runtime.hpp"
+#include "simnet/fabric.hpp"
+#include "srb/server.hpp"
+#include "testbed/cluster.hpp"
+
+namespace remio::testbed {
+
+class Testbed {
+ public:
+  /// Builds the fabric, registers `nodes` cluster hosts plus the server
+  /// host, and starts the SRB server.
+  Testbed(const ClusterSpec& cluster, int nodes,
+          const ServerSpec& server = sdsc_orion());
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  simnet::Fabric& fabric() { return fabric_; }
+  srb::SrbServer& server() { return *server_; }
+  const ClusterSpec& cluster() const { return cluster_; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  std::string node_host(int rank) const;
+  const std::shared_ptr<simnet::TokenBucket>& node_bus(int rank) const {
+    return nodes_[static_cast<std::size_t>(rank)].bus;
+  }
+
+  /// SEMPLAR config for one rank. `charge_bus` additionally charges the
+  /// node's I/O bus on every WAN chunk (on by default — it is the physical
+  /// reality; disable to ablate the contention effect).
+  semplar::Config semplar_config(int rank, int streams_per_node = 1,
+                                 int io_threads = 0, bool charge_bus = true) const;
+
+  /// Transport model wiring minimpi traffic through the node buses and the
+  /// shared interconnect.
+  mpi::TransportModel mpi_transport() const;
+
+  /// Modelled compute phase: occupies `sim_seconds / cluster.cpu_speed` of
+  /// simulated time. Examples run real kernels instead; the figure benches
+  /// use this because a single-core container cannot execute 13 CPU-bound
+  /// rank threads with parallel semantics (see DESIGN.md substitutions).
+  void compute(double sim_seconds) const;
+
+ private:
+  struct Node {
+    std::shared_ptr<simnet::TokenBucket> bus;
+    std::shared_ptr<simnet::TokenBucket> nic_out;
+    std::shared_ptr<simnet::TokenBucket> nic_in;
+  };
+
+  ClusterSpec cluster_;
+  ServerSpec server_spec_;
+  simnet::Fabric fabric_;
+  std::vector<Node> nodes_;
+  std::shared_ptr<simnet::TokenBucket> uplink_out_;
+  std::shared_ptr<simnet::TokenBucket> uplink_in_;
+  std::shared_ptr<simnet::TokenBucket> nat_;
+  std::shared_ptr<simnet::TokenBucket> interconnect_;
+  std::unique_ptr<srb::SrbServer> server_;
+};
+
+}  // namespace remio::testbed

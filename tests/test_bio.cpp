@@ -1,0 +1,214 @@
+// Bio substrate tests: FASTA round-trip, synthetic EST properties
+// (determinism, alphabet, compressibility), k-mer index and the
+// seed-and-extend aligner (planted matches must be found).
+#include <gtest/gtest.h>
+
+#include "bio/align.hpp"
+#include "bio/fasta.hpp"
+#include "bio/kmer_index.hpp"
+#include "bio/synth.hpp"
+#include "compress/codec.hpp"
+
+namespace remio::bio {
+namespace {
+
+TEST(Fasta, ParseBasic) {
+  const auto seqs = parse_fasta(">seq1 description here\nACGT\nACGT\n\n>seq2\r\nTTTT\n");
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0].id, "seq1");
+  EXPECT_EQ(seqs[0].residues, "ACGTACGT");
+  EXPECT_EQ(seqs[1].id, "seq2");
+  EXPECT_EQ(seqs[1].residues, "TTTT");
+}
+
+TEST(Fasta, RoundTrip) {
+  std::vector<Sequence> seqs = {{"a", std::string(150, 'A')}, {"b", "ACGT"}};
+  const auto parsed = parse_fasta(write_fasta(seqs, 70));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].residues, seqs[0].residues);
+  EXPECT_EQ(parsed[1].residues, seqs[1].residues);
+}
+
+TEST(Fasta, ResiduesBeforeHeaderThrows) {
+  EXPECT_THROW(parse_fasta("ACGT\n>late\n"), std::runtime_error);
+}
+
+TEST(Fasta, EmptyInput) { EXPECT_TRUE(parse_fasta("").empty()); }
+
+TEST(Synth, DeterministicForSeed) {
+  SynthConfig cfg;
+  cfg.seed = 11;
+  cfg.genome_length = 10000;
+  EstGenerator a(cfg);
+  EstGenerator b(cfg);
+  EXPECT_EQ(a.genome(), b.genome());
+  const auto sa = a.sample(5);
+  const auto sb = b.sample(5);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i].residues, sb[i].residues);
+}
+
+TEST(Synth, AlphabetAndLengths) {
+  SynthConfig cfg;
+  cfg.genome_length = 50000;
+  cfg.est_min_length = 100;
+  cfg.est_max_length = 300;
+  EstGenerator gen(cfg);
+  for (const auto& s : gen.sample(50)) {
+    EXPECT_GE(s.residues.size(), 100u);
+    EXPECT_LE(s.residues.size(), 300u);
+    for (char c : s.residues)
+      EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T') << c;
+  }
+}
+
+TEST(Synth, TextIsCompressibleLikeEsts) {
+  // §7.3's premise: nucleotide EST text compresses roughly 2x with a fast
+  // LZ codec. The generator is tuned to land in that regime.
+  SynthConfig cfg;
+  cfg.seed = 7;
+  cfg.genome_length = 96 * 1024;
+  EstGenerator gen(cfg);
+  const std::string text = gen.nucleotide_text(1 << 20);
+  const auto& codec = compress::codec_by_name("lzmini");
+  Bytes out;
+  codec.compress(ByteSpan(text.data(), text.size()), out);
+  const double ratio = static_cast<double>(text.size()) / static_cast<double>(out.size());
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 3.2);
+}
+
+TEST(Synth, TextExactSizeAndFastaShaped) {
+  SynthConfig cfg;
+  EstGenerator gen(cfg);
+  const std::string text = gen.nucleotide_text(100000);
+  EXPECT_EQ(text.size(), 100000u);
+  EXPECT_EQ(text[0], '>');
+}
+
+TEST(KmerIndex, PackBase) {
+  EXPECT_EQ(pack_base('A').value(), 0u);
+  EXPECT_EQ(pack_base('t').value(), 3u);
+  EXPECT_FALSE(pack_base('N').has_value());
+}
+
+TEST(KmerIndex, FindsOccurrences) {
+  std::vector<Sequence> db = {{"s0", "AAACGTACGTTT"}, {"s1", "GGGACGTACGGG"}};
+  KmerIndex index(db, 7);
+  const auto key = index.pack("ACGTACG");
+  ASSERT_TRUE(key.has_value());
+  const auto& hits = index.lookup(*key);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].seq_index, 0u);
+  EXPECT_EQ(hits[0].position, 2u);
+  EXPECT_EQ(hits[1].seq_index, 1u);
+  EXPECT_EQ(hits[1].position, 3u);
+}
+
+TEST(KmerIndex, RejectsBadK) {
+  std::vector<Sequence> db;
+  EXPECT_THROW(KmerIndex(db, 0), std::invalid_argument);
+  EXPECT_THROW(KmerIndex(db, 16), std::invalid_argument);
+}
+
+TEST(KmerIndex, MissingKmerGivesEmpty) {
+  std::vector<Sequence> db = {{"s", "AAAAAAAAAA"}};
+  KmerIndex index(db, 5);
+  const auto key = index.pack("CCCCC");
+  ASSERT_TRUE(key.has_value());
+  EXPECT_TRUE(index.lookup(*key).empty());
+}
+
+TEST(Aligner, FindsPlantedExactMatch) {
+  SynthConfig cfg;
+  cfg.seed = 23;
+  cfg.genome_length = 20000;
+  EstGenerator gen(cfg);
+  auto db = gen.sample(50);
+
+  // Plant a query that is an exact substring of db sequence 10.
+  Sequence query;
+  query.id = "probe";
+  query.residues = db[10].residues.substr(5, 80);
+
+  KmerIndex index(db, 11);
+  Aligner aligner(db, index);
+  const auto hits = aligner.search(query);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].db_seq, 10u);
+  EXPECT_GE(hits[0].score, 80);  // exact 80-mer scores ~80
+  EXPECT_EQ(hits[0].db_start, 5u);
+  EXPECT_EQ(hits[0].query_start, 0u);
+}
+
+TEST(Aligner, ToleratesMutations) {
+  SynthConfig cfg;
+  cfg.seed = 29;
+  cfg.genome_length = 20000;
+  EstGenerator gen(cfg);
+  auto db = gen.sample(40);
+
+  std::string q = db[3].residues.substr(10, 120);
+  q[40] = q[40] == 'A' ? 'C' : 'A';  // single substitution
+  Sequence query{"mut", q};
+
+  KmerIndex index(db, 11);
+  Aligner aligner(db, index);
+  const auto hits = aligner.search(query);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].db_seq, 3u);
+  EXPECT_GT(hits[0].score, 80);
+}
+
+TEST(Aligner, NoHitsForForeignSequence) {
+  std::vector<Sequence> db = {{"s", std::string(2000, 'A')}};
+  KmerIndex index(db, 11);
+  Aligner aligner(db, index);
+  Sequence query{"q", "CGCGCGTATATAGCGCATCGATCGAT"};
+  EXPECT_TRUE(aligner.search(query).empty());
+}
+
+TEST(Aligner, ShortQueryBelowKIsEmpty) {
+  std::vector<Sequence> db = {{"s", "ACGTACGTACGTACGT"}};
+  KmerIndex index(db, 11);
+  Aligner aligner(db, index);
+  Sequence query{"q", "ACGT"};
+  EXPECT_TRUE(aligner.search(query).empty());
+}
+
+TEST(Aligner, HitsSortedByScoreAndCapped) {
+  SynthConfig cfg;
+  cfg.seed = 31;
+  cfg.genome_length = 5000;
+  EstGenerator gen(cfg);
+  AlignParams params;
+  params.max_hits_per_query = 4;
+  auto db = gen.sample(60);
+  Sequence query{"q", db[0].residues};
+  KmerIndex index(db, 11);
+  Aligner aligner(db, index, params);
+  const auto hits = aligner.search(query);
+  EXPECT_LE(hits.size(), 4u);
+  for (std::size_t i = 1; i < hits.size(); ++i)
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+}
+
+TEST(Aligner, ReportFormat) {
+  SynthConfig cfg;
+  cfg.genome_length = 10000;
+  EstGenerator gen(cfg);
+  auto db = gen.sample(20);
+  Sequence query{"q1", db[7].residues.substr(0, 100)};
+  KmerIndex index(db, 11);
+  Aligner aligner(db, index);
+  const auto hits = aligner.search(query);
+  const std::string report = aligner.report(query, hits);
+  EXPECT_NE(report.find("Query= q1"), std::string::npos);
+  EXPECT_NE(report.find("Score = "), std::string::npos);
+
+  const std::string empty_report = aligner.report(query, {});
+  EXPECT_NE(empty_report.find("No hits found"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace remio::bio

@@ -1,0 +1,237 @@
+// Collective two-phase write tests (§9 future work, implemented): geometry
+// helpers, correctness against independent writes, aggregator counts,
+// uneven block sizes, async keepalive semantics.
+#include <gtest/gtest.h>
+
+#include "core/semplar.hpp"
+#include "mpiio/collective.hpp"
+#include "simnet/timescale.hpp"
+#include "testbed/world.hpp"
+
+namespace remio::mpiio {
+namespace {
+
+TEST(CollectiveGeometry, AggregatorAssignment) {
+  // 8 ranks, 2 aggregators -> groups of 4 led by ranks 0 and 4.
+  EXPECT_EQ(aggregator_of(0, 8, 2), 0);
+  EXPECT_EQ(aggregator_of(3, 8, 2), 0);
+  EXPECT_EQ(aggregator_of(4, 8, 2), 4);
+  EXPECT_EQ(aggregator_of(7, 8, 2), 4);
+  EXPECT_TRUE(is_aggregator(0, 8, 2));
+  EXPECT_FALSE(is_aggregator(1, 8, 2));
+  EXPECT_TRUE(is_aggregator(4, 8, 2));
+}
+
+TEST(CollectiveGeometry, ClampsDegenerateCounts) {
+  EXPECT_EQ(aggregator_of(5, 6, 0), 0);    // 0 -> 1 aggregator
+  EXPECT_EQ(aggregator_of(5, 6, 100), 5);  // more aggregators than ranks
+  EXPECT_TRUE(is_aggregator(5, 6, 100));
+}
+
+TEST(CollectiveGeometry, UnevenGroups) {
+  // 5 ranks, 2 aggregators -> groups {0,1,2} and {3,4}.
+  EXPECT_EQ(aggregator_of(2, 5, 2), 0);
+  EXPECT_EQ(aggregator_of(3, 5, 2), 3);
+  EXPECT_EQ(aggregator_of(4, 5, 2), 3);
+}
+
+class CollectiveTest : public ::testing::Test {
+ protected:
+  CollectiveTest() : scale_(1000.0), tb_(testbed::tg_ncsa(), 6) {}
+
+  /// Runs a collective write over `procs` ranks with each rank's block
+  /// being `block_of(rank)` and verifies the remote object's content.
+  void run_and_verify(int procs, int aggregators, bool async,
+                      const std::function<Bytes(int)>& block_of) {
+    const std::string path = "/coll/obj";
+    mpi::RunOptions opts;
+    opts.transport = tb_.mpi_transport();
+
+    mpi::run(procs, [&](mpi::Comm& comm) {
+      const int r = comm.rank();
+      std::unique_ptr<semplar::SrbfsDriver> driver;
+      std::unique_ptr<File> file;
+      if (is_aggregator(r, procs, aggregators)) {
+        driver = std::make_unique<semplar::SrbfsDriver>(tb_.fabric(),
+                                                        tb_.semplar_config(r));
+        const std::uint32_t mode =
+            r == 0 ? (kModeWrite | kModeCreate | kModeTrunc) : kModeWrite;
+        if (r == 0) {
+          File create(*driver, path, kModeWrite | kModeCreate | kModeTrunc);
+          create.close();
+        }
+        comm.barrier();
+        file = std::make_unique<File>(*driver, path, mode & ~(kModeCreate | kModeTrunc));
+      } else {
+        comm.barrier();
+      }
+
+      const Bytes block = block_of(r);
+      CollectiveOptions copts;
+      copts.aggregators = aggregators;
+      copts.async = async;
+      IoRequest req = collective_write(comm, file.get(), 0,
+                                       ByteSpan(block.data(), block.size()), copts);
+      if (req.valid()) EXPECT_GT(req.wait(), 0u);
+      comm.barrier();
+      if (file) file->close();
+    },
+             opts);
+
+    // Verify the concatenation-in-rank-order layout.
+    Bytes expected;
+    for (int r = 0; r < procs; ++r) {
+      const Bytes b = block_of(r);
+      expected.insert(expected.end(), b.begin(), b.end());
+    }
+    srb::SrbClient client(tb_.fabric(), tb_.node_host(0), "orion", 5544);
+    const auto st = client.stat(path);
+    ASSERT_TRUE(st.has_value());
+    ASSERT_EQ(st->size, expected.size());
+    const auto fd = client.open(path, srb::kRead);
+    Bytes actual(expected.size());
+    EXPECT_EQ(client.pread(fd, MutByteSpan(actual.data(), actual.size()), 0),
+              actual.size());
+    EXPECT_EQ(actual, expected);
+    client.close(fd);
+    client.unlink(path);
+  }
+
+  simnet::ScopedTimeScale scale_;
+  testbed::Testbed tb_;
+};
+
+TEST_F(CollectiveTest, SingleAggregatorEqualBlocks) {
+  run_and_verify(4, 1, /*async=*/true,
+                 [](int r) { return Bytes(32 * 1024, static_cast<char>('A' + r)); });
+}
+
+TEST_F(CollectiveTest, TwoAggregators) {
+  run_and_verify(6, 2, true,
+                 [](int r) { return Bytes(16 * 1024, static_cast<char>('a' + r)); });
+}
+
+TEST_F(CollectiveTest, EveryRankAggregates) {
+  // aggregators == procs degenerates to independent writes.
+  run_and_verify(4, 4, true,
+                 [](int r) { return Bytes(8 * 1024, static_cast<char>('0' + r)); });
+}
+
+TEST_F(CollectiveTest, UnevenBlockSizes) {
+  run_and_verify(5, 2, true, [](int r) {
+    return Bytes(1000 * static_cast<std::size_t>(r + 1), static_cast<char>('u' + r));
+  });
+}
+
+TEST_F(CollectiveTest, SynchronousMode) {
+  run_and_verify(4, 1, /*async=*/false,
+                 [](int r) { return Bytes(4 * 1024, static_cast<char>('S' + r)); });
+}
+
+TEST_F(CollectiveTest, ZeroByteContributors) {
+  run_and_verify(4, 2, true, [](int r) {
+    return r % 2 == 0 ? Bytes(2048, static_cast<char>('z')) : Bytes{};
+  });
+}
+
+TEST_F(CollectiveTest, ReadRoundTrip) {
+  // collective_write then collective_read must return every rank its own
+  // block, across aggregator geometries.
+  const int procs = 6;
+  const std::string path = "/coll/rt";
+  mpi::RunOptions opts;
+  opts.transport = tb_.mpi_transport();
+
+  for (const int aggregators : {1, 2, 3}) {
+    mpi::run(procs, [&](mpi::Comm& comm) {
+      const int r = comm.rank();
+      std::unique_ptr<semplar::SrbfsDriver> driver;
+      std::unique_ptr<File> file;
+      if (is_aggregator(r, procs, aggregators)) {
+        driver = std::make_unique<semplar::SrbfsDriver>(tb_.fabric(),
+                                                        tb_.semplar_config(r));
+        if (r == 0) {
+          File create(*driver, path, kModeWrite | kModeCreate | kModeTrunc);
+          create.close();
+        }
+        comm.barrier();
+        file = std::make_unique<File>(*driver, path, kModeRead | kModeWrite);
+      } else {
+        comm.barrier();
+      }
+
+      const Bytes mine(5000 + static_cast<std::size_t>(r) * 100,
+                       static_cast<char>('A' + r));
+      CollectiveOptions copts;
+      copts.aggregators = aggregators;
+      copts.async = true;
+      IoRequest req =
+          collective_write(comm, file.get(), 0, ByteSpan(mine.data(), mine.size()), copts);
+      if (req.valid()) req.wait();
+      comm.barrier();
+
+      Bytes back(mine.size());
+      const std::size_t got =
+          collective_read(comm, file.get(), 0, MutByteSpan(back.data(), back.size()), copts);
+      EXPECT_EQ(got, mine.size()) << "rank " << r << " agg " << aggregators;
+      EXPECT_EQ(back, mine) << "rank " << r << " agg " << aggregators;
+      comm.barrier();
+      if (file) file->close();
+    },
+             opts);
+  }
+}
+
+TEST_F(CollectiveTest, ReadShortAtEof) {
+  // Object shorter than the requested layout: trailing ranks read short.
+  const int procs = 4;
+  const std::string path = "/coll/short";
+  {
+    srb::SrbClient client(tb_.fabric(), tb_.node_host(0), "orion", 5544);
+    const auto fd = client.open(path, srb::kWrite | srb::kCreate | srb::kTrunc);
+    const Bytes data(2500, 's');  // covers rank 0, 1 and half of rank 2
+    client.pwrite(fd, ByteSpan(data.data(), data.size()), 0);
+    client.close(fd);
+  }
+  mpi::RunOptions opts;
+  opts.transport = tb_.mpi_transport();
+  mpi::run(procs, [&](mpi::Comm& comm) {
+    const int r = comm.rank();
+    std::unique_ptr<semplar::SrbfsDriver> driver;
+    std::unique_ptr<File> file;
+    if (r == 0) {
+      driver = std::make_unique<semplar::SrbfsDriver>(tb_.fabric(),
+                                                      tb_.semplar_config(0));
+      file = std::make_unique<File>(*driver, path, kModeRead);
+    }
+    Bytes block(1000);
+    const std::size_t got =
+        collective_read(comm, file.get(), 0, MutByteSpan(block.data(), block.size()),
+                        CollectiveOptions{1, true});
+    switch (r) {
+      case 0:
+      case 1: EXPECT_EQ(got, 1000u); break;
+      case 2: EXPECT_EQ(got, 500u); break;
+      default: EXPECT_EQ(got, 0u);
+    }
+    if (file) file->close();
+  },
+           opts);
+}
+
+TEST_F(CollectiveTest, AggregatorWithoutFileThrows) {
+  mpi::RunOptions opts;
+  EXPECT_THROW(
+      mpi::run(2,
+               [&](mpi::Comm& comm) {
+                 const Bytes block(128, 'x');
+                 collective_write(comm, nullptr, 0,
+                                  ByteSpan(block.data(), block.size()),
+                                  CollectiveOptions{});
+               },
+               opts),
+      IoError);
+}
+
+}  // namespace
+}  // namespace remio::mpiio

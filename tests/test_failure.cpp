@@ -1,0 +1,172 @@
+// Failure-injection tests: broker death mid-operation, engine behaviour
+// after task failures, corrupted compressed objects, and rank crashes —
+// errors must surface on the right call and never hang or crash.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/semplar.hpp"
+#include "minimpi/runtime.hpp"
+#include "simnet/timescale.hpp"
+#include "srb/server.hpp"
+
+namespace remio {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() : scale_(2000.0) {
+    simnet::HostSpec server_host;
+    server_host.name = "orion";
+    fabric_.add_host(server_host);
+    simnet::HostSpec node;
+    node.name = "node0";
+    fabric_.add_host(node);
+    server_ = std::make_unique<srb::SrbServer>(fabric_, srb::ServerConfig{});
+    server_->start();
+  }
+
+  semplar::Config config(int streams = 1) {
+    semplar::Config cfg;
+    cfg.client_host = "node0";
+    cfg.streams_per_node = streams;
+    cfg.io_threads = streams;
+    cfg.conn.tcp_window = 0;
+    return cfg;
+  }
+
+  simnet::ScopedTimeScale scale_;
+  simnet::Fabric fabric_;
+  std::unique_ptr<srb::SrbServer> server_;
+};
+
+TEST_F(FailureTest, SyncWriteFailsAfterServerStop) {
+  semplar::SrbfsDriver driver(fabric_, config());
+  mpiio::File f(driver, "/f/a", mpiio::kModeRead | mpiio::kModeWrite |
+                                    mpiio::kModeCreate);
+  server_->stop();
+  const Bytes data(64 * 1024, 'x');
+  EXPECT_ANY_THROW(f.write_at(0, ByteSpan(data.data(), data.size())));
+}
+
+TEST_F(FailureTest, ConnectRefusedAfterServerStop) {
+  server_->stop();
+  EXPECT_ANY_THROW(semplar::SrbfsDriver(fabric_, config())
+                       .open("/f/b", mpiio::kModeWrite | mpiio::kModeCreate));
+}
+
+TEST_F(FailureTest, AsyncErrorDeliveredOnWaitNotSubmit) {
+  semplar::SrbfsDriver driver(fabric_, config());
+  mpiio::File f(driver, "/f/c", mpiio::kModeRead | mpiio::kModeWrite |
+                                    mpiio::kModeCreate);
+  server_->stop();
+  const Bytes data(64 * 1024, 'y');
+  // Submission itself must not throw; the failure belongs to the request.
+  mpiio::IoRequest req = f.iwrite_at(0, ByteSpan(data.data(), data.size()));
+  EXPECT_ANY_THROW(req.wait());
+}
+
+TEST_F(FailureTest, EngineKeepsServingAfterFailedTask) {
+  semplar::AsyncEngine engine(1, 16, false);
+  auto bad = engine.submit([]() -> std::size_t { throw mpiio::IoError("boom"); });
+  auto good = engine.submit([] { return std::size_t{11}; });
+  EXPECT_THROW(bad.wait(), mpiio::IoError);
+  EXPECT_EQ(good.wait(), 11u);  // the I/O thread survived the exception
+}
+
+TEST_F(FailureTest, StripedWriteOneStreamDiesOthersReport) {
+  // Kill the broker mid-striped-write: the master request must fail (not
+  // hang), and subsequent waits stay failed.
+  semplar::Config cfg = config(2);
+  cfg.stripe_size = 64 * 1024;
+  semplar::SrbfsDriver driver(fabric_, cfg);
+  mpiio::File f(driver, "/f/d", mpiio::kModeRead | mpiio::kModeWrite |
+                                    mpiio::kModeCreate);
+  Rng rng(9);
+  const Bytes data = rng.bytes(1 << 20);
+  server_->stop();
+  mpiio::IoRequest req = f.iwrite_at(0, ByteSpan(data.data(), data.size()));
+  EXPECT_ANY_THROW(req.wait());
+  EXPECT_TRUE(req.test());
+}
+
+TEST_F(FailureTest, CorruptedCompressedObjectDetectedOnRead) {
+  semplar::SrbfsDriver driver(fabric_, config());
+  auto handle = driver.open("/f/z", mpiio::kModeRead | mpiio::kModeWrite |
+                                        mpiio::kModeCreate);
+  {
+    semplar::CompressPipe pipe(*handle, compress::codec_by_name("lzmini"));
+    const Bytes block(100 * 1024, 'c');
+    pipe.write(ByteSpan(block.data(), block.size()));
+    pipe.finish();
+  }
+  // Corrupt one byte of the stored frame payload via a direct client.
+  {
+    srb::SrbClient client(fabric_, "node0", "orion", 5544);
+    const auto fd = client.open("/f/z", srb::kRead | srb::kWrite);
+    const Bytes evil = to_bytes("X");
+    client.pwrite(fd, ByteSpan(evil.data(), evil.size()), 40);
+    client.close(fd);
+  }
+  EXPECT_THROW(semplar::read_all_decompressed(*handle), compress::CodecError);
+}
+
+TEST_F(FailureTest, TruncatedCompressedObjectDetected) {
+  semplar::SrbfsDriver driver(fabric_, config());
+  auto handle = driver.open("/f/t", mpiio::kModeRead | mpiio::kModeWrite |
+                                        mpiio::kModeCreate);
+  {
+    semplar::CompressPipe pipe(*handle, compress::codec_by_name("lzmini"));
+    const Bytes block(50 * 1024, 't');
+    pipe.write(ByteSpan(block.data(), block.size()));
+    pipe.finish();
+  }
+  // Reopen truncated: decode must reject, not crash.
+  {
+    srb::SrbClient client(fabric_, "node0", "orion", 5544);
+    const auto st = client.stat("/f/t");
+    ASSERT_TRUE(st.has_value());
+    const auto fd = client.open("/f/t", srb::kRead | srb::kWrite);
+    (void)fd;
+    // ObjectStore truncation via the server is not exposed; emulate by
+    // reading a shortened range through a fresh handle instead.
+    Bytes raw(st->size - 5);
+    client.pread(fd, MutByteSpan(raw.data(), raw.size()), 0);
+    EXPECT_THROW(compress::decode_frame_stream(ByteSpan(raw.data(), raw.size())),
+                 compress::CodecError);
+    client.close(fd);
+  }
+}
+
+TEST_F(FailureTest, RankCrashAbortsJobCleanly) {
+  // One rank throws mid-job while others are blocked in recv and barrier:
+  // run() must rethrow the original error and not deadlock.
+  EXPECT_THROW(mpi::run(4,
+                        [](mpi::Comm& comm) {
+                          if (comm.rank() == 1)
+                            throw std::runtime_error("simulated rank crash");
+                          if (comm.rank() == 0) comm.recv(1, 99);
+                          comm.barrier();
+                        }),
+               std::runtime_error);
+}
+
+TEST_F(FailureTest, IsendToCrashedWorldSurfacesOnWait) {
+  EXPECT_THROW(mpi::run(2,
+                        [](mpi::Comm& comm) {
+                          if (comm.rank() == 0) throw mpi::MpiError("dead");
+                          // Rank 1 blocks on a receive that can never match.
+                          comm.recv(0, 7);
+                        }),
+               mpi::MpiError);
+}
+
+TEST_F(FailureTest, DoubleCloseAndUseAfterCloseAreSafe) {
+  semplar::SrbfsDriver driver(fabric_, config());
+  mpiio::File f(driver, "/f/dc", mpiio::kModeRead | mpiio::kModeWrite |
+                                     mpiio::kModeCreate);
+  f.close();
+  f.close();  // idempotent
+}
+
+}  // namespace
+}  // namespace remio

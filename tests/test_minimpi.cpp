@@ -1,0 +1,279 @@
+// minimpi runtime tests: matching, ordering, wildcards, requests,
+// collectives, transport-model charging and failure propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "minimpi/runtime.hpp"
+#include "simnet/timescale.hpp"
+#include "simnet/token_bucket.hpp"
+
+namespace remio::mpi {
+namespace {
+
+TEST(Runtime, RanksAndSize) {
+  std::atomic<int> sum{0};
+  run(5, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 5);
+    sum += comm.rank();
+  });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(Runtime, RejectsNonPositive) {
+  EXPECT_THROW(run(0, [](Comm&) {}), MpiError);
+}
+
+TEST(P2P, SendRecvValue) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 7, 12345);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 7), 12345);
+    }
+  });
+}
+
+TEST(P2P, FifoOrderPerPair) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 50; ++i) comm.send_value(1, 3, i);
+    } else {
+      for (int i = 0; i < 50; ++i) EXPECT_EQ(comm.recv_value<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(P2P, TagMatchingSkipsOtherTags) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1, 111);
+      comm.send_value(1, 2, 222);
+    } else {
+      // Receive tag 2 first even though tag 1 arrived first.
+      EXPECT_EQ(comm.recv_value<int>(0, 2), 222);
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 111);
+    }
+  });
+}
+
+TEST(P2P, AnySourceAnyTag) {
+  run(3, [](Comm& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value(0, comm.rank(), comm.rank() * 10);
+    } else {
+      int total = 0;
+      for (int i = 0; i < 2; ++i) {
+        const Message m = comm.recv(kAnySource, kAnyTag);
+        int v;
+        std::memcpy(&v, m.data.data(), sizeof v);
+        EXPECT_EQ(v, m.src * 10);
+        EXPECT_EQ(m.tag, m.src);
+        total += v;
+      }
+      EXPECT_EQ(total, 30);
+    }
+  });
+}
+
+TEST(P2P, BadDestinationThrows) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send_value(5, 0, 1), MpiError);
+      comm.send_value(1, 0, 1);  // unblock rank 1
+    } else {
+      comm.recv_value<int>(0, 0);
+    }
+  });
+}
+
+TEST(P2P, IsendIrecv) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const Bytes payload = to_bytes("async!");
+      Request req = comm.isend(1, 9, ByteSpan(payload.data(), payload.size()));
+      req.wait();
+    } else {
+      Request req = comm.irecv(0, 9);
+      const Message m = req.wait();
+      EXPECT_EQ(to_string(ByteSpan(m.data.data(), m.data.size())), "async!");
+      EXPECT_TRUE(req.test());
+    }
+  });
+}
+
+TEST(P2P, SendrecvExchange) {
+  run(2, [](Comm& comm) {
+    const int partner = 1 - comm.rank();
+    const Bytes mine(4, static_cast<char>('0' + comm.rank()));
+    const Message got =
+        comm.sendrecv(partner, 5, ByteSpan(mine.data(), mine.size()), partner, 5);
+    EXPECT_EQ(got.data[0], static_cast<char>('0' + partner));
+  });
+}
+
+TEST(Collectives, Barrier) {
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  run(6, [&](Comm& comm) {
+    ++before;
+    comm.barrier();
+    if (before.load() != 6) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Collectives, BarrierRepeated) {
+  std::atomic<int> counter{0};
+  run(4, [&](Comm& comm) {
+    for (int round = 0; round < 10; ++round) {
+      if (comm.rank() == 0) counter = round;
+      comm.barrier();
+      EXPECT_EQ(counter.load(), round);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Collectives, BcastFromEveryRoot) {
+  for (int root = 0; root < 5; ++root) {
+    run(5, [&](Comm& comm) {
+      Bytes data;
+      if (comm.rank() == root) data = to_bytes("payload-" + std::to_string(root));
+      comm.bcast(root, data);
+      EXPECT_EQ(to_string(ByteSpan(data.data(), data.size())),
+                "payload-" + std::to_string(root));
+    });
+  }
+}
+
+TEST(Collectives, ReduceAndAllreduce) {
+  run(7, [](Comm& comm) {
+    const int r = comm.rank();
+    const int sum = comm.allreduce_sum(r);
+    EXPECT_EQ(sum, 21);
+    const int mx = comm.allreduce_max(r * (r % 2 == 0 ? 1 : -1));
+    EXPECT_EQ(mx, 6);
+    const long long rsum = comm.reduce_sum<long long>(3, r);
+    if (r == 3) EXPECT_EQ(rsum, 21);
+  });
+}
+
+TEST(Collectives, GatherScatterAllgather) {
+  run(4, [](Comm& comm) {
+    const int r = comm.rank();
+    const auto gathered = comm.gather(0, r * r);
+    if (r == 0) {
+      ASSERT_EQ(gathered.size(), 4u);
+      EXPECT_EQ(gathered[3], 9);
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+
+    std::vector<double> values;
+    if (r == 1) values = {0.5, 1.5, 2.5, 3.5};
+    const double mine = comm.scatter(1, values);
+    EXPECT_DOUBLE_EQ(mine, 0.5 + r);
+
+    const auto all = comm.allgather(r + 100);
+    ASSERT_EQ(all.size(), 4u);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i + 100);
+  });
+}
+
+TEST(Collectives, ScatterWrongSizeThrows) {
+  EXPECT_THROW(run(3,
+                   [](Comm& comm) {
+                     std::vector<int> vals = {1, 2};  // too short
+                     comm.scatter(0, vals);
+                   }),
+               MpiError);
+}
+
+TEST(Runtime, ExceptionPropagatesAndAborts) {
+  EXPECT_THROW(run(4,
+                   [](Comm& comm) {
+                     if (comm.rank() == 2) throw std::runtime_error("rank 2 died");
+                     // Other ranks block; abort must wake them.
+                     comm.recv(kAnySource, 42);
+                   }),
+               std::runtime_error);
+}
+
+TEST(Runtime, AbortUnblocksBarrier) {
+  EXPECT_THROW(run(3,
+                   [](Comm& comm) {
+                     if (comm.rank() == 0) throw MpiError("boom");
+                     comm.barrier();
+                   }),
+               MpiError);
+}
+
+TEST(Transport, ChargesModelledResources) {
+  simnet::ScopedTimeScale scale(1000.0);
+  auto bucket = std::make_shared<simnet::TokenBucket>(1e6, 64 * 1024);
+  std::atomic<std::uint64_t> charged{0};
+
+  RunOptions opts;
+  opts.transport = [&](int, int, std::size_t bytes) {
+    bucket->acquire(bytes);
+    charged += bytes;
+  };
+  run(2,
+      [](Comm& comm) {
+        if (comm.rank() == 0) {
+          const Bytes halo(100 * 1024);
+          comm.send(1, 0, ByteSpan(halo.data(), halo.size()));
+        } else {
+          comm.recv(0, 0);
+        }
+      },
+      opts);
+  EXPECT_EQ(charged.load(), 100u * 1024u);
+  EXPECT_EQ(bucket->consumed(), 100u * 1024u);
+}
+
+TEST(Transport, SelfMessagesNotCharged) {
+  // The Testbed transport skips src == dst; emulate that contract here.
+  std::atomic<std::uint64_t> charged{0};
+  RunOptions opts;
+  opts.transport = [&](int src, int dst, std::size_t bytes) {
+    if (src != dst) charged += bytes;
+  };
+  run(2,
+      [](Comm& comm) {
+        const Bytes b(64);
+        comm.send(comm.rank(), 0, ByteSpan(b.data(), b.size()));  // self-send
+        comm.recv(comm.rank(), 0);
+      },
+      opts);
+  EXPECT_EQ(charged.load(), 0u);
+}
+
+TEST(Stress, ManyMessagesManyRanks) {
+  constexpr int kRanks = 6;
+  constexpr int kMsgs = 200;
+  std::atomic<long long> received{0};
+  run(kRanks, [&](Comm& comm) {
+    const int r = comm.rank();
+    if (r == 0) {
+      long long sum = 0;
+      for (int i = 0; i < (kRanks - 1) * kMsgs; ++i) {
+        const Message m = comm.recv(kAnySource, 1);
+        int v;
+        std::memcpy(&v, m.data.data(), sizeof v);
+        sum += v;
+      }
+      received = sum;
+    } else {
+      for (int i = 0; i < kMsgs; ++i) comm.send_value(0, 1, r);
+    }
+  });
+  long long expected = 0;
+  for (int r = 1; r < kRanks; ++r) expected += static_cast<long long>(r) * kMsgs;
+  EXPECT_EQ(received.load(), expected);
+}
+
+}  // namespace
+}  // namespace remio::mpi

@@ -1,0 +1,295 @@
+// End-to-end broker tests: server + client over the shaped fabric —
+// open/read/write/seek semantics, catalog verbs, concurrency, and the
+// object store's pread/pwrite behaviour.
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "common/rng.hpp"
+#include "simnet/timescale.hpp"
+#include "srb/client.hpp"
+#include "srb/object_store.hpp"
+#include "srb/server.hpp"
+
+namespace remio::srb {
+namespace {
+
+class SrbTest : public ::testing::Test {
+ protected:
+  SrbTest() : scale_(2000.0) {
+    simnet::HostSpec server_host;
+    server_host.name = "orion";
+    fabric_.add_host(server_host);
+    simnet::HostSpec client_host;
+    client_host.name = "node0";
+    client_host.latency_to_core = 0.001;
+    fabric_.add_host(client_host);
+
+    server_ = std::make_unique<SrbServer>(fabric_, ServerConfig{});
+    server_->start();
+  }
+
+  std::unique_ptr<SrbClient> make_client() {
+    return std::make_unique<SrbClient>(fabric_, "node0", "orion", 5544);
+  }
+
+  simnet::ScopedTimeScale scale_;
+  simnet::Fabric fabric_;
+  std::unique_ptr<SrbServer> server_;
+};
+
+TEST_F(SrbTest, ConnectHandshake) {
+  auto c = make_client();
+  EXPECT_EQ(c->server_banner(), "remio-srb 3.2.1-sim");
+  EXPECT_EQ(server_->sessions_served(), 1u);
+}
+
+TEST_F(SrbTest, OpenMissingFails) {
+  auto c = make_client();
+  try {
+    c->open("/nope", kRead);
+    FAIL() << "expected SrbError";
+  } catch (const SrbError& e) {
+    EXPECT_EQ(e.status(), Status::kNotFound);
+  }
+}
+
+TEST_F(SrbTest, CreateWriteReadBack) {
+  auto c = make_client();
+  const auto fd = c->open("/home/t/obj", kRead | kWrite | kCreate);
+  const Bytes data = to_bytes("the quick brown fox");
+  EXPECT_EQ(c->pwrite(fd, ByteSpan(data.data(), data.size()), 0), data.size());
+  Bytes back(data.size());
+  EXPECT_EQ(c->pread(fd, MutByteSpan(back.data(), back.size()), 0), data.size());
+  EXPECT_EQ(back, data);
+  c->close(fd);
+}
+
+TEST_F(SrbTest, FilePointerSemantics) {
+  auto c = make_client();
+  const auto fd = c->open("/fp", kRead | kWrite | kCreate);
+  const Bytes a = to_bytes("aaaa");
+  const Bytes b = to_bytes("bbbb");
+  c->write(fd, ByteSpan(a.data(), a.size()));
+  c->write(fd, ByteSpan(b.data(), b.size()));  // appended at fp
+  EXPECT_EQ(c->seek(fd, 0, Whence::kSet), 0);
+  Bytes back(8);
+  EXPECT_EQ(c->read(fd, MutByteSpan(back.data(), back.size())), 8u);
+  EXPECT_EQ(to_string(ByteSpan(back.data(), back.size())), "aaaabbbb");
+  // fp is now at EOF; further reads return 0.
+  char extra;
+  EXPECT_EQ(c->read(fd, MutByteSpan(&extra, 1)), 0u);
+  c->close(fd);
+}
+
+TEST_F(SrbTest, SeekWhence) {
+  auto c = make_client();
+  const auto fd = c->open("/seek", kRead | kWrite | kCreate);
+  const Bytes data = to_bytes("0123456789");
+  c->pwrite(fd, ByteSpan(data.data(), data.size()), 0);
+  EXPECT_EQ(c->seek(fd, 4, Whence::kSet), 4);
+  EXPECT_EQ(c->seek(fd, 2, Whence::kCur), 6);
+  EXPECT_EQ(c->seek(fd, -3, Whence::kEnd), 7);
+  char ch;
+  EXPECT_EQ(c->read(fd, MutByteSpan(&ch, 1)), 1u);
+  EXPECT_EQ(ch, '7');
+  EXPECT_THROW(c->seek(fd, -100, Whence::kSet), SrbError);
+  c->close(fd);
+}
+
+TEST_F(SrbTest, SparseWriteZeroFills) {
+  auto c = make_client();
+  const auto fd = c->open("/sparse", kRead | kWrite | kCreate);
+  const Bytes tail = to_bytes("end");
+  c->pwrite(fd, ByteSpan(tail.data(), tail.size()), 100);
+  EXPECT_EQ(c->stat("/sparse")->size, 103u);
+  Bytes back(103);
+  EXPECT_EQ(c->pread(fd, MutByteSpan(back.data(), back.size()), 0), 103u);
+  EXPECT_EQ(back[0], '\0');
+  EXPECT_EQ(back[99], '\0');
+  EXPECT_EQ(back[100], 'e');
+  c->close(fd);
+}
+
+TEST_F(SrbTest, TruncFlagResets) {
+  auto c = make_client();
+  auto fd = c->open("/trunc", kRead | kWrite | kCreate);
+  const Bytes data = to_bytes("hello world");
+  c->pwrite(fd, ByteSpan(data.data(), data.size()), 0);
+  c->close(fd);
+  fd = c->open("/trunc", kRead | kWrite | kTrunc);
+  EXPECT_EQ(c->stat("/trunc")->size, 0u);
+  c->close(fd);
+}
+
+TEST_F(SrbTest, StatAndUnlink) {
+  auto c = make_client();
+  EXPECT_FALSE(c->stat("/gone").has_value());
+  const auto fd = c->open("/obj", kWrite | kCreate);
+  const Bytes data(1234, 'x');
+  c->pwrite(fd, ByteSpan(data.data(), data.size()), 0);
+  c->close(fd);
+  const auto st = c->stat("/obj");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->size, 1234u);
+  EXPECT_EQ(st->resource, "orion-disk");
+  c->unlink("/obj");
+  EXPECT_FALSE(c->stat("/obj").has_value());
+  EXPECT_THROW(c->unlink("/obj"), SrbError);
+}
+
+TEST_F(SrbTest, PermissionBits) {
+  auto c = make_client();
+  const auto wr = c->open("/perm", kWrite | kCreate);
+  Bytes buf(4);
+  EXPECT_THROW(c->pread(wr, MutByteSpan(buf.data(), buf.size()), 0), SrbError);
+  c->close(wr);
+  const auto rd = c->open("/perm", kRead);
+  const Bytes data = to_bytes("data");
+  EXPECT_THROW(c->pwrite(rd, ByteSpan(data.data(), data.size()), 0), SrbError);
+  c->close(rd);
+}
+
+TEST_F(SrbTest, BadFdRejected) {
+  auto c = make_client();
+  Bytes buf(4);
+  EXPECT_THROW(c->pread(99, MutByteSpan(buf.data(), buf.size()), 0), SrbError);
+  EXPECT_THROW(c->close(99), SrbError);
+}
+
+TEST_F(SrbTest, CollectionsAndAttrs) {
+  auto c = make_client();
+  c->make_collection("/proj/run1");
+  const auto fd = c->open("/proj/run1/out", kWrite | kCreate);
+  c->close(fd);
+  const auto entries = c->list("/proj/run1");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0], "/proj/run1/out");
+  EXPECT_THROW(c->list("/missing"), SrbError);
+
+  c->set_attr("/proj/run1/out", "owner", "demo");
+  EXPECT_EQ(c->get_attr("/proj/run1/out", "owner").value(), "demo");
+  EXPECT_FALSE(c->get_attr("/proj/run1/out", "nope").has_value());
+}
+
+TEST_F(SrbTest, LargeTransferIntegrity) {
+  auto c = make_client();
+  const auto fd = c->open("/big", kRead | kWrite | kCreate);
+  Rng rng(5);
+  const Bytes data = rng.bytes((1 << 20) + 321);
+  EXPECT_EQ(c->pwrite(fd, ByteSpan(data.data(), data.size()), 0), data.size());
+  Bytes back(data.size());
+  EXPECT_EQ(c->pread(fd, MutByteSpan(back.data(), back.size()), 0), data.size());
+  EXPECT_EQ(back, data);
+  c->close(fd);
+}
+
+TEST_F(SrbTest, ConcurrentClientsDisjointOffsets) {
+  // Two connections writing disjoint slices of the same object — the §7.2
+  // double-connection pattern at the broker level.
+  auto c = make_client();
+  const auto fd0 = c->open("/shared", kWrite | kCreate);
+  c->close(fd0);
+
+  constexpr std::size_t kSlice = 256 * 1024;
+  auto writer = [&](int idx) {
+    auto cl = make_client();
+    const auto fd = cl->open("/shared", kWrite);
+    const Bytes data(kSlice, static_cast<char>('A' + idx));
+    cl->pwrite(fd, ByteSpan(data.data(), data.size()),
+               static_cast<std::uint64_t>(idx) * kSlice);
+    cl->close(fd);
+  };
+  auto f1 = std::async(std::launch::async, writer, 0);
+  auto f2 = std::async(std::launch::async, writer, 1);
+  f1.get();
+  f2.get();
+
+  const auto fd = c->open("/shared", kRead);
+  Bytes back(2 * kSlice);
+  EXPECT_EQ(c->pread(fd, MutByteSpan(back.data(), back.size()), 0), back.size());
+  EXPECT_EQ(back[0], 'A');
+  EXPECT_EQ(back[kSlice - 1], 'A');
+  EXPECT_EQ(back[kSlice], 'B');
+  EXPECT_EQ(back.back(), 'B');
+  c->close(fd);
+}
+
+TEST_F(SrbTest, ManyParallelSessions) {
+  constexpr int kSessions = 8;
+  std::vector<std::future<void>> jobs;
+  for (int i = 0; i < kSessions; ++i)
+    jobs.push_back(std::async(std::launch::async, [&, i] {
+      auto cl = make_client();
+      const std::string path = "/many/obj" + std::to_string(i);
+      const auto fd = cl->open(path, kRead | kWrite | kCreate);
+      const Bytes data(10000, static_cast<char>(i));
+      cl->pwrite(fd, ByteSpan(data.data(), data.size()), 0);
+      Bytes back(10000);
+      EXPECT_EQ(cl->pread(fd, MutByteSpan(back.data(), back.size()), 0), back.size());
+      EXPECT_EQ(back, data);
+      cl->close(fd);
+    }));
+  for (auto& j : jobs) j.get();
+  EXPECT_EQ(server_->mcat().object_count(), kSessions);
+}
+
+TEST_F(SrbTest, DisconnectThenCallsFail) {
+  auto c = make_client();
+  c->disconnect();
+  EXPECT_THROW(c->stat("/x"), SrbError);
+  c->disconnect();  // idempotent
+}
+
+TEST_F(SrbTest, ServerStopClosesSessions) {
+  auto c = make_client();
+  server_->stop();
+  EXPECT_ANY_THROW({
+    const auto fd = c->open("/x", kWrite | kCreate);
+    (void)fd;
+  });
+}
+
+// --- ObjectStore direct ----------------------------------------------------------
+
+TEST(ObjectStore, PreadShortAtEof) {
+  ObjectStore store;
+  store.create(1);
+  const Bytes data = to_bytes("abc");
+  store.pwrite(1, ByteSpan(data.data(), data.size()), 0);
+  Bytes buf(10);
+  EXPECT_EQ(store.pread(1, MutByteSpan(buf.data(), buf.size()), 0), 3u);
+  EXPECT_EQ(store.pread(1, MutByteSpan(buf.data(), buf.size()), 5), 0u);
+}
+
+TEST(ObjectStore, MissingObjectThrows) {
+  ObjectStore store;
+  Bytes buf(1);
+  EXPECT_THROW(store.pread(7, MutByteSpan(buf.data(), buf.size()), 0),
+               std::out_of_range);
+}
+
+TEST(ObjectStore, TotalBytesAndRemove) {
+  ObjectStore store;
+  store.create(1);
+  store.create(2);
+  const Bytes data(100, 'x');
+  store.pwrite(1, ByteSpan(data.data(), data.size()), 0);
+  store.pwrite(2, ByteSpan(data.data(), data.size()), 50);
+  EXPECT_EQ(store.total_bytes(), 250u);
+  store.remove(1);
+  EXPECT_EQ(store.total_bytes(), 150u);
+  EXPECT_FALSE(store.exists(1));
+}
+
+TEST(ObjectStore, CreateIsIdempotent) {
+  ObjectStore store;
+  store.create(1);
+  const Bytes data = to_bytes("keep");
+  store.pwrite(1, ByteSpan(data.data(), data.size()), 0);
+  store.create(1);  // must not clobber
+  EXPECT_EQ(store.size(1), 4u);
+}
+
+}  // namespace
+}  // namespace remio::srb

@@ -1,0 +1,178 @@
+// Property suite: however a transfer is decomposed — any stream count,
+// stripe size (explicit or auto), I/O-thread count, sync or async, single
+// or double open — the bytes that land in the remote object are identical
+// to a reference single-stream synchronous write, and reads recover them
+// exactly. Verified by content hash against the broker's stored object.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/semplar.hpp"
+#include "simnet/timescale.hpp"
+#include "srb/server.hpp"
+
+namespace remio::semplar {
+namespace {
+
+struct StripingCase {
+  int streams;
+  int io_threads;
+  std::size_t stripe;  // 0 = auto
+  bool async;
+  std::size_t size;
+};
+
+std::string case_name(const ::testing::TestParamInfo<StripingCase>& info) {
+  const auto& c = info.param;
+  return "s" + std::to_string(c.streams) + "_t" + std::to_string(c.io_threads) +
+         "_stripe" + std::to_string(c.stripe) + (c.async ? "_async" : "_sync") +
+         "_n" + std::to_string(c.size);
+}
+
+class StripingProperty : public ::testing::TestWithParam<StripingCase> {
+ protected:
+  StripingProperty() : scale_(5000.0) {
+    simnet::HostSpec server_host;
+    server_host.name = "orion";
+    fabric_.add_host(server_host);
+    simnet::HostSpec node;
+    node.name = "node0";
+    fabric_.add_host(node);
+    server_ = std::make_unique<srb::SrbServer>(fabric_, srb::ServerConfig{});
+    server_->start();
+  }
+
+  std::uint64_t object_hash(const std::string& path) {
+    srb::SrbClient client(fabric_, "node0", "orion", 5544);
+    const auto st = client.stat(path);
+    if (!st) return 0;
+    Bytes raw(st->size);
+    const auto fd = client.open(path, srb::kRead);
+    EXPECT_EQ(client.pread(fd, MutByteSpan(raw.data(), raw.size()), 0), raw.size());
+    client.close(fd);
+    return fnv1a(ByteSpan(raw.data(), raw.size()));
+  }
+
+  simnet::ScopedTimeScale scale_;
+  simnet::Fabric fabric_;
+  std::unique_ptr<srb::SrbServer> server_;
+};
+
+TEST_P(StripingProperty, AnyDecompositionSameObject) {
+  const StripingCase c = GetParam();
+  Rng rng(c.size * 7 + static_cast<std::uint64_t>(c.streams));
+  const Bytes data = rng.bytes(c.size);
+
+  // Reference: single-stream synchronous write.
+  Config ref_cfg;
+  ref_cfg.client_host = "node0";
+  ref_cfg.conn.tcp_window = 0;
+  {
+    SemplarFile ref(fabric_, ref_cfg, "/prop/ref",
+                    mpiio::kModeWrite | mpiio::kModeCreate | mpiio::kModeTrunc);
+    ref.write_at(0, ByteSpan(data.data(), data.size()));
+  }
+
+  // Candidate decomposition.
+  Config cfg = ref_cfg;
+  cfg.streams_per_node = c.streams;
+  cfg.io_threads = c.io_threads;
+  cfg.stripe_size = c.stripe;
+  {
+    SemplarFile f(fabric_, cfg, "/prop/cand",
+                  mpiio::kModeRead | mpiio::kModeWrite | mpiio::kModeCreate |
+                      mpiio::kModeTrunc);
+    if (c.async) {
+      mpiio::IoRequest req = f.iwrite_at(0, ByteSpan(data.data(), data.size()));
+      ASSERT_EQ(req.wait(), data.size());
+    } else {
+      ASSERT_EQ(f.write_at(0, ByteSpan(data.data(), data.size())), data.size());
+    }
+    // Read back through the same decomposition too.
+    Bytes round(c.size);
+    if (!round.empty()) {
+      mpiio::IoRequest r = f.iread_at(0, MutByteSpan(round.data(), round.size()));
+      ASSERT_EQ(r.wait(), data.size());
+      EXPECT_EQ(round, data);
+    }
+  }
+
+  EXPECT_EQ(object_hash("/prop/cand"), object_hash("/prop/ref"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decompositions, StripingProperty,
+    ::testing::Values(
+        StripingCase{1, 1, 0, true, 1},
+        StripingCase{2, 2, 0, true, 100 * 1024 + 1},
+        StripingCase{2, 2, 64 * 1024, true, 100 * 1024 + 1},
+        StripingCase{2, 1, 32 * 1024, true, 300 * 1024},
+        StripingCase{3, 3, 0, true, 257 * 1024},
+        StripingCase{3, 2, 48 * 1024, true, 500 * 1024 + 13},
+        StripingCase{4, 4, 0, true, 1 << 20},
+        StripingCase{4, 4, 16 * 1024, true, 200 * 1024},
+        StripingCase{2, 2, 0, false, 128 * 1024},
+        StripingCase{1, 1, 8 * 1024, true, 64 * 1024},
+        StripingCase{4, 2, 0, true, 3},
+        StripingCase{2, 2, 0, true, 0}),
+    case_name);
+
+// Double-open decomposition (the paper's §7.2 trick) writes the same
+// object content as one handle with two streams.
+TEST(StripingDoubleOpen, MatchesLibraryStriping) {
+  simnet::ScopedTimeScale scale(5000.0);
+  simnet::Fabric fabric;
+  simnet::HostSpec server_host;
+  server_host.name = "orion";
+  fabric.add_host(server_host);
+  simnet::HostSpec node;
+  node.name = "node0";
+  fabric.add_host(node);
+  srb::SrbServer server(fabric, srb::ServerConfig{});
+  server.start();
+
+  Rng rng(77);
+  const Bytes data = rng.bytes(400 * 1024);
+  const std::size_t half = data.size() / 2;
+
+  Config cfg;
+  cfg.client_host = "node0";
+  cfg.conn.tcp_window = 0;
+
+  // Library-level striping.
+  Config lib_cfg = cfg;
+  lib_cfg.streams_per_node = 2;
+  lib_cfg.io_threads = 2;
+  {
+    SemplarFile f(fabric, lib_cfg, "/dbl/lib",
+                  mpiio::kModeWrite | mpiio::kModeCreate | mpiio::kModeTrunc);
+    f.iwrite_at(0, ByteSpan(data.data(), data.size())).wait();
+  }
+
+  // Application-level double open (two handles, one connection each).
+  {
+    SemplarFile f1(fabric, cfg, "/dbl/app",
+                   mpiio::kModeWrite | mpiio::kModeCreate | mpiio::kModeTrunc);
+    SemplarFile f2(fabric, cfg, "/dbl/app", mpiio::kModeWrite);
+    mpiio::IoRequest r1 = f1.iwrite_at(0, ByteSpan(data.data(), half));
+    mpiio::IoRequest r2 = f2.iwrite_at(half, ByteSpan(data.data() + half,
+                                                      data.size() - half));
+    r1.wait();
+    r2.wait();
+  }
+
+  srb::SrbClient client(fabric, "node0", "orion", 5544);
+  auto hash_of = [&](const std::string& path) {
+    const auto st = client.stat(path);
+    Bytes raw(st->size);
+    const auto fd = client.open(path, srb::kRead);
+    client.pread(fd, MutByteSpan(raw.data(), raw.size()), 0);
+    client.close(fd);
+    return fnv1a(ByteSpan(raw.data(), raw.size()));
+  };
+  EXPECT_EQ(hash_of("/dbl/lib"), hash_of("/dbl/app"));
+}
+
+}  // namespace
+}  // namespace remio::semplar
