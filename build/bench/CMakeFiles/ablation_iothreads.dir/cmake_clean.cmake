@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iothreads.dir/ablation_iothreads.cpp.o"
+  "CMakeFiles/ablation_iothreads.dir/ablation_iothreads.cpp.o.d"
+  "ablation_iothreads"
+  "ablation_iothreads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iothreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mpiblast.dir/fig6_mpiblast.cpp.o"
+  "CMakeFiles/fig6_mpiblast.dir/fig6_mpiblast.cpp.o.d"
+  "fig6_mpiblast"
+  "fig6_mpiblast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mpiblast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

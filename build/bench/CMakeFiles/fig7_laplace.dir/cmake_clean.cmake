@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_laplace.dir/fig7_laplace.cpp.o"
+  "CMakeFiles/fig7_laplace.dir/fig7_laplace.cpp.o.d"
+  "fig7_laplace"
+  "fig7_laplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_perf_streams.dir/fig8_perf_streams.cpp.o"
+  "CMakeFiles/fig8_perf_streams.dir/fig8_perf_streams.cpp.o.d"
+  "fig8_perf_streams"
+  "fig8_perf_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_perf_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_upload.dir/compress_upload.cpp.o"
+  "CMakeFiles/compress_upload.dir/compress_upload.cpp.o.d"
+  "compress_upload"
+  "compress_upload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_upload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laplace_checkpoint.dir/laplace_checkpoint.cpp.o"
+  "CMakeFiles/laplace_checkpoint.dir/laplace_checkpoint.cpp.o.d"
+  "laplace_checkpoint"
+  "laplace_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laplace_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_blast.dir/mpi_blast.cpp.o"
+  "CMakeFiles/mpi_blast.dir/mpi_blast.cpp.o.d"
+  "mpi_blast"
+  "mpi_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scommands.dir/scommands.cpp.o"
+  "CMakeFiles/scommands.dir/scommands.cpp.o.d"
+  "scommands"
+  "scommands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scommands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/align.cpp" "src/CMakeFiles/remio_bio.dir/bio/align.cpp.o" "gcc" "src/CMakeFiles/remio_bio.dir/bio/align.cpp.o.d"
+  "/root/repo/src/bio/fasta.cpp" "src/CMakeFiles/remio_bio.dir/bio/fasta.cpp.o" "gcc" "src/CMakeFiles/remio_bio.dir/bio/fasta.cpp.o.d"
+  "/root/repo/src/bio/kmer_index.cpp" "src/CMakeFiles/remio_bio.dir/bio/kmer_index.cpp.o" "gcc" "src/CMakeFiles/remio_bio.dir/bio/kmer_index.cpp.o.d"
+  "/root/repo/src/bio/synth.cpp" "src/CMakeFiles/remio_bio.dir/bio/synth.cpp.o" "gcc" "src/CMakeFiles/remio_bio.dir/bio/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/remio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

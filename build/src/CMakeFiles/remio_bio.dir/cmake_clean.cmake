@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remio_bio.dir/bio/align.cpp.o"
+  "CMakeFiles/remio_bio.dir/bio/align.cpp.o.d"
+  "CMakeFiles/remio_bio.dir/bio/fasta.cpp.o"
+  "CMakeFiles/remio_bio.dir/bio/fasta.cpp.o.d"
+  "CMakeFiles/remio_bio.dir/bio/kmer_index.cpp.o"
+  "CMakeFiles/remio_bio.dir/bio/kmer_index.cpp.o.d"
+  "CMakeFiles/remio_bio.dir/bio/synth.cpp.o"
+  "CMakeFiles/remio_bio.dir/bio/synth.cpp.o.d"
+  "libremio_bio.a"
+  "libremio_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remio_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remio_common.dir/common/log.cpp.o"
+  "CMakeFiles/remio_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/remio_common.dir/common/options.cpp.o"
+  "CMakeFiles/remio_common.dir/common/options.cpp.o.d"
+  "CMakeFiles/remio_common.dir/common/stats.cpp.o"
+  "CMakeFiles/remio_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/remio_common.dir/common/table.cpp.o"
+  "CMakeFiles/remio_common.dir/common/table.cpp.o.d"
+  "libremio_common.a"
+  "libremio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/frame.cpp" "src/CMakeFiles/remio_compress.dir/compress/frame.cpp.o" "gcc" "src/CMakeFiles/remio_compress.dir/compress/frame.cpp.o.d"
+  "/root/repo/src/compress/lzmini.cpp" "src/CMakeFiles/remio_compress.dir/compress/lzmini.cpp.o" "gcc" "src/CMakeFiles/remio_compress.dir/compress/lzmini.cpp.o.d"
+  "/root/repo/src/compress/null.cpp" "src/CMakeFiles/remio_compress.dir/compress/null.cpp.o" "gcc" "src/CMakeFiles/remio_compress.dir/compress/null.cpp.o.d"
+  "/root/repo/src/compress/registry.cpp" "src/CMakeFiles/remio_compress.dir/compress/registry.cpp.o" "gcc" "src/CMakeFiles/remio_compress.dir/compress/registry.cpp.o.d"
+  "/root/repo/src/compress/rle.cpp" "src/CMakeFiles/remio_compress.dir/compress/rle.cpp.o" "gcc" "src/CMakeFiles/remio_compress.dir/compress/rle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/remio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remio_compress.dir/compress/frame.cpp.o"
+  "CMakeFiles/remio_compress.dir/compress/frame.cpp.o.d"
+  "CMakeFiles/remio_compress.dir/compress/lzmini.cpp.o"
+  "CMakeFiles/remio_compress.dir/compress/lzmini.cpp.o.d"
+  "CMakeFiles/remio_compress.dir/compress/null.cpp.o"
+  "CMakeFiles/remio_compress.dir/compress/null.cpp.o.d"
+  "CMakeFiles/remio_compress.dir/compress/registry.cpp.o"
+  "CMakeFiles/remio_compress.dir/compress/registry.cpp.o.d"
+  "CMakeFiles/remio_compress.dir/compress/rle.cpp.o"
+  "CMakeFiles/remio_compress.dir/compress/rle.cpp.o.d"
+  "libremio_compress.a"
+  "libremio_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remio_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

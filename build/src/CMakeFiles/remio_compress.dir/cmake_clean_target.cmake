@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libremio_compress.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/async_engine.cpp" "src/CMakeFiles/remio_core.dir/core/async_engine.cpp.o" "gcc" "src/CMakeFiles/remio_core.dir/core/async_engine.cpp.o.d"
+  "/root/repo/src/core/compress_pipe.cpp" "src/CMakeFiles/remio_core.dir/core/compress_pipe.cpp.o" "gcc" "src/CMakeFiles/remio_core.dir/core/compress_pipe.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/remio_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/remio_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/srbfs.cpp" "src/CMakeFiles/remio_core.dir/core/srbfs.cpp.o" "gcc" "src/CMakeFiles/remio_core.dir/core/srbfs.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/remio_core.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/remio_core.dir/core/stats.cpp.o.d"
+  "/root/repo/src/core/stream_pool.cpp" "src/CMakeFiles/remio_core.dir/core/stream_pool.cpp.o" "gcc" "src/CMakeFiles/remio_core.dir/core/stream_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/remio_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_srb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

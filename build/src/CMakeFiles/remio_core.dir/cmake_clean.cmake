@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remio_core.dir/core/async_engine.cpp.o"
+  "CMakeFiles/remio_core.dir/core/async_engine.cpp.o.d"
+  "CMakeFiles/remio_core.dir/core/compress_pipe.cpp.o"
+  "CMakeFiles/remio_core.dir/core/compress_pipe.cpp.o.d"
+  "CMakeFiles/remio_core.dir/core/config.cpp.o"
+  "CMakeFiles/remio_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/remio_core.dir/core/srbfs.cpp.o"
+  "CMakeFiles/remio_core.dir/core/srbfs.cpp.o.d"
+  "CMakeFiles/remio_core.dir/core/stats.cpp.o"
+  "CMakeFiles/remio_core.dir/core/stats.cpp.o.d"
+  "CMakeFiles/remio_core.dir/core/stream_pool.cpp.o"
+  "CMakeFiles/remio_core.dir/core/stream_pool.cpp.o.d"
+  "libremio_core.a"
+  "libremio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remio_minimpi.dir/minimpi/comm.cpp.o"
+  "CMakeFiles/remio_minimpi.dir/minimpi/comm.cpp.o.d"
+  "CMakeFiles/remio_minimpi.dir/minimpi/runtime.cpp.o"
+  "CMakeFiles/remio_minimpi.dir/minimpi/runtime.cpp.o.d"
+  "libremio_minimpi.a"
+  "libremio_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remio_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

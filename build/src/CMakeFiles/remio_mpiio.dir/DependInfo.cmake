@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpiio/async_fallback.cpp" "src/CMakeFiles/remio_mpiio.dir/mpiio/async_fallback.cpp.o" "gcc" "src/CMakeFiles/remio_mpiio.dir/mpiio/async_fallback.cpp.o.d"
+  "/root/repo/src/mpiio/collective.cpp" "src/CMakeFiles/remio_mpiio.dir/mpiio/collective.cpp.o" "gcc" "src/CMakeFiles/remio_mpiio.dir/mpiio/collective.cpp.o.d"
+  "/root/repo/src/mpiio/file.cpp" "src/CMakeFiles/remio_mpiio.dir/mpiio/file.cpp.o" "gcc" "src/CMakeFiles/remio_mpiio.dir/mpiio/file.cpp.o.d"
+  "/root/repo/src/mpiio/request.cpp" "src/CMakeFiles/remio_mpiio.dir/mpiio/request.cpp.o" "gcc" "src/CMakeFiles/remio_mpiio.dir/mpiio/request.cpp.o.d"
+  "/root/repo/src/mpiio/ufs.cpp" "src/CMakeFiles/remio_mpiio.dir/mpiio/ufs.cpp.o" "gcc" "src/CMakeFiles/remio_mpiio.dir/mpiio/ufs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/remio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remio_mpiio.dir/mpiio/async_fallback.cpp.o"
+  "CMakeFiles/remio_mpiio.dir/mpiio/async_fallback.cpp.o.d"
+  "CMakeFiles/remio_mpiio.dir/mpiio/collective.cpp.o"
+  "CMakeFiles/remio_mpiio.dir/mpiio/collective.cpp.o.d"
+  "CMakeFiles/remio_mpiio.dir/mpiio/file.cpp.o"
+  "CMakeFiles/remio_mpiio.dir/mpiio/file.cpp.o.d"
+  "CMakeFiles/remio_mpiio.dir/mpiio/request.cpp.o"
+  "CMakeFiles/remio_mpiio.dir/mpiio/request.cpp.o.d"
+  "CMakeFiles/remio_mpiio.dir/mpiio/ufs.cpp.o"
+  "CMakeFiles/remio_mpiio.dir/mpiio/ufs.cpp.o.d"
+  "libremio_mpiio.a"
+  "libremio_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remio_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/fabric.cpp" "src/CMakeFiles/remio_simnet.dir/simnet/fabric.cpp.o" "gcc" "src/CMakeFiles/remio_simnet.dir/simnet/fabric.cpp.o.d"
+  "/root/repo/src/simnet/socket.cpp" "src/CMakeFiles/remio_simnet.dir/simnet/socket.cpp.o" "gcc" "src/CMakeFiles/remio_simnet.dir/simnet/socket.cpp.o.d"
+  "/root/repo/src/simnet/timescale.cpp" "src/CMakeFiles/remio_simnet.dir/simnet/timescale.cpp.o" "gcc" "src/CMakeFiles/remio_simnet.dir/simnet/timescale.cpp.o.d"
+  "/root/repo/src/simnet/token_bucket.cpp" "src/CMakeFiles/remio_simnet.dir/simnet/token_bucket.cpp.o" "gcc" "src/CMakeFiles/remio_simnet.dir/simnet/token_bucket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/remio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

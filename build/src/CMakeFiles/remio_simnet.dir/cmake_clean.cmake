@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remio_simnet.dir/simnet/fabric.cpp.o"
+  "CMakeFiles/remio_simnet.dir/simnet/fabric.cpp.o.d"
+  "CMakeFiles/remio_simnet.dir/simnet/socket.cpp.o"
+  "CMakeFiles/remio_simnet.dir/simnet/socket.cpp.o.d"
+  "CMakeFiles/remio_simnet.dir/simnet/timescale.cpp.o"
+  "CMakeFiles/remio_simnet.dir/simnet/timescale.cpp.o.d"
+  "CMakeFiles/remio_simnet.dir/simnet/token_bucket.cpp.o"
+  "CMakeFiles/remio_simnet.dir/simnet/token_bucket.cpp.o.d"
+  "libremio_simnet.a"
+  "libremio_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remio_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

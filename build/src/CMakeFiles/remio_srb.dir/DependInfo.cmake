@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/srb/client.cpp" "src/CMakeFiles/remio_srb.dir/srb/client.cpp.o" "gcc" "src/CMakeFiles/remio_srb.dir/srb/client.cpp.o.d"
+  "/root/repo/src/srb/mcat.cpp" "src/CMakeFiles/remio_srb.dir/srb/mcat.cpp.o" "gcc" "src/CMakeFiles/remio_srb.dir/srb/mcat.cpp.o.d"
+  "/root/repo/src/srb/object_store.cpp" "src/CMakeFiles/remio_srb.dir/srb/object_store.cpp.o" "gcc" "src/CMakeFiles/remio_srb.dir/srb/object_store.cpp.o.d"
+  "/root/repo/src/srb/protocol.cpp" "src/CMakeFiles/remio_srb.dir/srb/protocol.cpp.o" "gcc" "src/CMakeFiles/remio_srb.dir/srb/protocol.cpp.o.d"
+  "/root/repo/src/srb/server.cpp" "src/CMakeFiles/remio_srb.dir/srb/server.cpp.o" "gcc" "src/CMakeFiles/remio_srb.dir/srb/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/remio_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

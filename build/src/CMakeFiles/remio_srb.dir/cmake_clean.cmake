@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remio_srb.dir/srb/client.cpp.o"
+  "CMakeFiles/remio_srb.dir/srb/client.cpp.o.d"
+  "CMakeFiles/remio_srb.dir/srb/mcat.cpp.o"
+  "CMakeFiles/remio_srb.dir/srb/mcat.cpp.o.d"
+  "CMakeFiles/remio_srb.dir/srb/object_store.cpp.o"
+  "CMakeFiles/remio_srb.dir/srb/object_store.cpp.o.d"
+  "CMakeFiles/remio_srb.dir/srb/protocol.cpp.o"
+  "CMakeFiles/remio_srb.dir/srb/protocol.cpp.o.d"
+  "CMakeFiles/remio_srb.dir/srb/server.cpp.o"
+  "CMakeFiles/remio_srb.dir/srb/server.cpp.o.d"
+  "libremio_srb.a"
+  "libremio_srb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remio_srb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for remio_srb.
+# This may be replaced when dependencies are built.

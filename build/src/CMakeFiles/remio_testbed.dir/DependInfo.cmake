@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/cluster.cpp" "src/CMakeFiles/remio_testbed.dir/testbed/cluster.cpp.o" "gcc" "src/CMakeFiles/remio_testbed.dir/testbed/cluster.cpp.o.d"
+  "/root/repo/src/testbed/harness.cpp" "src/CMakeFiles/remio_testbed.dir/testbed/harness.cpp.o" "gcc" "src/CMakeFiles/remio_testbed.dir/testbed/harness.cpp.o.d"
+  "/root/repo/src/testbed/phase.cpp" "src/CMakeFiles/remio_testbed.dir/testbed/phase.cpp.o" "gcc" "src/CMakeFiles/remio_testbed.dir/testbed/phase.cpp.o.d"
+  "/root/repo/src/testbed/workloads.cpp" "src/CMakeFiles/remio_testbed.dir/testbed/workloads.cpp.o" "gcc" "src/CMakeFiles/remio_testbed.dir/testbed/workloads.cpp.o.d"
+  "/root/repo/src/testbed/world.cpp" "src/CMakeFiles/remio_testbed.dir/testbed/world.cpp.o" "gcc" "src/CMakeFiles/remio_testbed.dir/testbed/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/remio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_srb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/remio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

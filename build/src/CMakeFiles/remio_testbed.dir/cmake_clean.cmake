@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remio_testbed.dir/testbed/cluster.cpp.o"
+  "CMakeFiles/remio_testbed.dir/testbed/cluster.cpp.o.d"
+  "CMakeFiles/remio_testbed.dir/testbed/harness.cpp.o"
+  "CMakeFiles/remio_testbed.dir/testbed/harness.cpp.o.d"
+  "CMakeFiles/remio_testbed.dir/testbed/phase.cpp.o"
+  "CMakeFiles/remio_testbed.dir/testbed/phase.cpp.o.d"
+  "CMakeFiles/remio_testbed.dir/testbed/workloads.cpp.o"
+  "CMakeFiles/remio_testbed.dir/testbed/workloads.cpp.o.d"
+  "CMakeFiles/remio_testbed.dir/testbed/world.cpp.o"
+  "CMakeFiles/remio_testbed.dir/testbed/world.cpp.o.d"
+  "libremio_testbed.a"
+  "libremio_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remio_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

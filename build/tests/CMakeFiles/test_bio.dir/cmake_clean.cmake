@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bio.dir/test_bio.cpp.o"
+  "CMakeFiles/test_bio.dir/test_bio.cpp.o.d"
+  "test_bio"
+  "test_bio.pdb"
+  "test_bio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

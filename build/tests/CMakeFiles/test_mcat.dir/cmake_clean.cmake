@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcat.dir/test_mcat.cpp.o"
+  "CMakeFiles/test_mcat.dir/test_mcat.cpp.o.d"
+  "test_mcat"
+  "test_mcat.pdb"
+  "test_mcat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

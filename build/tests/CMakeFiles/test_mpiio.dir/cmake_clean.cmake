@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpiio.dir/test_mpiio.cpp.o"
+  "CMakeFiles/test_mpiio.dir/test_mpiio.cpp.o.d"
+  "test_mpiio"
+  "test_mpiio.pdb"
+  "test_mpiio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redundant.dir/test_redundant.cpp.o"
+  "CMakeFiles/test_redundant.dir/test_redundant.cpp.o.d"
+  "test_redundant"
+  "test_redundant.pdb"
+  "test_redundant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redundant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semplar.dir/test_semplar.cpp.o"
+  "CMakeFiles/test_semplar.dir/test_semplar.cpp.o.d"
+  "test_semplar"
+  "test_semplar.pdb"
+  "test_semplar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semplar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

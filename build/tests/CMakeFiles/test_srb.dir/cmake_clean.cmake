@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srb.dir/test_srb.cpp.o"
+  "CMakeFiles/test_srb.dir/test_srb.cpp.o.d"
+  "test_srb"
+  "test_srb.pdb"
+  "test_srb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
