@@ -1,0 +1,150 @@
+// Client-side block cache ablation (src/cache): the async engine hides
+// round-trip latency, the cache *removes* round trips. Two workloads over
+// the shaped DAS-2 -> SDSC WAN:
+//   1. re-read: one rank scans the same remote array twice — the second
+//      pass should be nearly wire-free (>= 90% hit rate) with the cache on;
+//   2. small writes: a log-style stream of 4 KB appends — write-behind
+//      coalesces them into ~hwm-sized wire writes.
+//
+// Usage: ablation_cache [--mb=8] [--scale=100]
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "core/semplar.hpp"
+#include "simnet/timescale.hpp"
+#include "testbed/harness.hpp"
+#include "testbed/world.hpp"
+
+using namespace remio;
+using namespace remio::testbed;
+
+namespace {
+
+struct ReadRun {
+  double first_s = 0.0;
+  double reread_s = 0.0;
+  semplar::StatsSnapshot stats;
+};
+
+ReadRun scan_twice(Testbed& tb, const semplar::Config& cfg,
+                   const std::string& path, std::size_t total,
+                   std::size_t chunk) {
+  semplar::SrbfsDriver driver(tb.fabric(), cfg);
+  auto handle = driver.open(path, mpiio::kModeRead);
+  auto* file = dynamic_cast<semplar::SemplarFile*>(handle.get());
+  Bytes buf(chunk);
+  ReadRun run;
+  for (int pass = 0; pass < 2; ++pass) {
+    const double t0 = simnet::sim_now();
+    for (std::size_t off = 0; off < total; off += chunk)
+      file->read_at(off, MutByteSpan(buf.data(), buf.size()));
+    (pass == 0 ? run.first_s : run.reread_s) = simnet::sim_now() - t0;
+  }
+  run.stats = file->stats().snapshot();
+  return run;
+}
+
+struct WriteRun {
+  double total_s = 0.0;
+  semplar::StatsSnapshot stats;
+};
+
+WriteRun stream_small_writes(Testbed& tb, const semplar::Config& cfg,
+                             const std::string& path, std::size_t total,
+                             std::size_t chunk) {
+  semplar::SrbfsDriver driver(tb.fabric(), cfg);
+  auto handle = driver.open(path, mpiio::kModeWrite | mpiio::kModeCreate |
+                                      mpiio::kModeTrunc);
+  auto* file = dynamic_cast<semplar::SemplarFile*>(handle.get());
+  const Bytes chunk_data(chunk, 'w');
+  const double t0 = simnet::sim_now();
+  for (std::size_t off = 0; off < total; off += chunk)
+    file->write_at(off, ByteSpan(chunk_data.data(), chunk_data.size()));
+  file->flush();
+  const double t1 = simnet::sim_now();
+  WriteRun run;
+  run.total_s = t1 - t0;
+  run.stats = file->stats().snapshot();
+  return run;
+}
+
+double mbps(std::size_t bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / seconds / 1e6 : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  apply_time_scale(opts);
+  const std::size_t mb = static_cast<std::size_t>(opts.get_int("mb", 8));
+  const std::size_t total = mb << 20;
+
+  Testbed tb(das2(), 1);
+
+  // Seed the remote array once, uncached.
+  {
+    semplar::SrbfsDriver seeder(tb.fabric(), tb.semplar_config(0));
+    mpiio::File seed(seeder, "/cache/data",
+                     mpiio::kModeWrite | mpiio::kModeCreate | mpiio::kModeTrunc);
+    const Bytes data(total, 'd');
+    seed.write_at(0, ByteSpan(data.data(), data.size()));
+    seed.close();
+  }
+
+  // --- workload 1: scan the array twice, 256 KB application reads ----------
+  const std::size_t read_chunk = 256 * 1024;
+  const ReadRun plain = scan_twice(tb, tb.semplar_config(0), "/cache/data",
+                                   total, read_chunk);
+
+  semplar::Config ccfg = tb.semplar_config(0, 1, 2);
+  ccfg.cache_bytes = 2 * total;  // the working set fits
+  ccfg.cache_block_bytes = 1u << 20;
+  ccfg.readahead_blocks = 4;
+  const ReadRun cached = scan_twice(tb, ccfg, "/cache/data", total, read_chunk);
+
+  const std::uint64_t accesses = cached.stats.cache_hits + cached.stats.cache_misses;
+  const double hit_rate =
+      accesses > 0 ? 100.0 * static_cast<double>(cached.stats.cache_hits) /
+                         static_cast<double>(accesses)
+                   : 0.0;
+
+  Table reads({"mode", "first-pass-MB/s", "re-read-MB/s", "hit-%", "prefetch"});
+  reads.add_row({"uncached", Table::num(mbps(total, plain.first_s), 1),
+                 Table::num(mbps(total, plain.reread_s), 1), "-", "-"});
+  reads.add_row({"block cache + readahead",
+                 Table::num(mbps(total, cached.first_s), 1),
+                 Table::num(mbps(total, cached.reread_s), 1),
+                 Table::num(hit_rate, 1),
+                 std::to_string(cached.stats.prefetch_useful) + "/" +
+                     std::to_string(cached.stats.prefetch_issued)});
+  emit(opts, "Ablation: re-read bandwidth with the client block cache", reads);
+
+  // --- workload 2: 4 KB sequential writes, write-behind coalescing ---------
+  const std::size_t write_chunk = 4 * 1024;
+  const WriteRun wplain = stream_small_writes(tb, tb.semplar_config(0),
+                                              "/cache/log.plain", total,
+                                              write_chunk);
+  semplar::Config wcfg = tb.semplar_config(0);
+  wcfg.cache_bytes = 2 * total;
+  wcfg.cache_block_bytes = 1u << 20;
+  // Clamp so small --mb runs keep hwm <= cache_bytes (Config rejects more).
+  wcfg.writeback_hwm = std::min<std::size_t>(4u << 20, wcfg.cache_bytes / 2);
+  const WriteRun wcached = stream_small_writes(tb, wcfg, "/cache/log.cached",
+                                               total, write_chunk);
+
+  Table writes({"mode", "MB/s", "wire-flushes", "coalesced-merges"});
+  writes.add_row({"uncached 4 KB writes", Table::num(mbps(total, wplain.total_s), 3),
+                  std::to_string(total / write_chunk), "-"});
+  writes.add_row({"write-behind (hwm 4 MB)",
+                  Table::num(mbps(total, wcached.total_s), 3),
+                  std::to_string(wcached.stats.writeback_flushes),
+                  std::to_string(wcached.stats.writeback_coalesced)});
+  emit(opts, "Ablation: small-write coalescing with write-behind", writes);
+
+  std::printf("expectation: re-read hit rate >= 90%% and a much faster second "
+              "pass; thousands of 4 KB writes collapse into a handful of "
+              "multi-MB wire flushes.\n");
+  return 0;
+}

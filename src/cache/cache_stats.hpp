@@ -1,0 +1,26 @@
+// Counters for the client-side block cache (src/cache). Header-only and free
+// of core/ dependencies so both the cache library and semplar::Stats can embed
+// them without a link-time cycle (core links cache, not the other way round).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace remio::cache {
+
+/// One instance per cached file, incremented relaxed from app and I/O
+/// threads; snapshots use relaxed loads (same contract as semplar::Stats).
+struct CacheCounters {
+  std::atomic<std::uint64_t> hits{0};             // block accesses served from cache
+  std::atomic<std::uint64_t> misses{0};           // block accesses that hit the wire
+  std::atomic<std::uint64_t> prefetch_issued{0};  // speculative block fetches submitted
+  std::atomic<std::uint64_t> prefetch_useful{0};  // prefetched blocks later demanded
+  std::atomic<std::uint64_t> writeback_coalesced{0};  // small writes merged into a neighbour
+  std::atomic<std::uint64_t> writeback_flushes{0};    // coalesced wire writes issued
+
+  static void bump(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
+    c.fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace remio::cache

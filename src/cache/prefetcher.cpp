@@ -1,0 +1,62 @@
+#include "cache/prefetcher.hpp"
+
+namespace remio::cache {
+
+Prefetcher::Prefetcher(int readahead_blocks) : readahead_(readahead_blocks) {}
+
+void Prefetcher::reset() {
+  have_last_ = false;
+  stride_ = 0;
+  streak_ = 0;
+}
+
+std::vector<std::uint64_t> Prefetcher::on_access(std::uint64_t first,
+                                                 std::uint64_t count) {
+  std::vector<std::uint64_t> out;
+  if (count == 0) return out;
+
+  const bool sequential = have_last_ && first == last_end_;
+  if (have_last_) {
+    const std::int64_t d =
+        static_cast<std::int64_t>(first) - static_cast<std::int64_t>(last_first_);
+    if (sequential) {
+      // Runs of different lengths still confirm a sequential walk, so keep
+      // the streak alive even when the start-to-start delta varies.
+      stride_ = d;
+      ++streak_;
+    } else if (d == 0) {
+      // Re-reading the same spot is neither confirmation nor a break.
+    } else if (d == stride_) {
+      ++streak_;
+    } else {
+      // New candidate stride: needs one repeat before it predicts anything,
+      // otherwise every random forward jump would trigger a speculation.
+      stride_ = d;
+      streak_ = 0;
+    }
+  }
+
+  const std::uint64_t end = first + count;
+  // One repeat of a forward pattern confirms it: sequential reads predict
+  // from their second access, like ROMIO's read-ahead heuristic.
+  if (readahead_ > 0 && streak_ >= 1 && (sequential || stride_ > 0)) {
+    const auto limit = static_cast<std::size_t>(readahead_);
+    if (sequential || stride_ <= static_cast<std::int64_t>(count)) {
+      // Sequential (or overlapping stride): extend past the access end.
+      for (std::uint64_t b = end; out.size() < limit; ++b) out.push_back(b);
+    } else {
+      // Strided: fetch the footprint of the next predicted accesses.
+      const auto d = static_cast<std::uint64_t>(stride_);
+      for (std::uint64_t base = first + d; out.size() < limit; base += d)
+        for (std::uint64_t j = 0; j < count && out.size() < limit; ++j)
+          out.push_back(base + j);
+    }
+  }
+
+  have_last_ = true;
+  last_first_ = first;
+  last_end_ = end;
+  return out;
+}
+
+}  // namespace remio::cache

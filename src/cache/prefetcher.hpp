@@ -1,0 +1,46 @@
+// Read-ahead pattern detector for the client-side block cache. Pure
+// bookkeeping: the BlockCache reports each demand access and gets back the
+// block indices worth fetching speculatively; the cache issues them through
+// the owner's AsyncEngine so prefetch transfers overlap compute exactly like
+// the paper's §7.1 overlap hides demand I/O.
+//
+// Two patterns are recognised, in the spirit of ROMIO's sequential heuristics:
+//   * sequential — each access starts where the previous one ended;
+//   * strided    — the distance between consecutive access starts is a
+//     constant positive number of blocks (a row-of-a-matrix walk).
+// Backward or irregular access yields no predictions; one conforming access
+// after a break re-arms the detector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace remio::cache {
+
+class Prefetcher {
+ public:
+  /// `readahead_blocks` caps how many blocks one access may trigger; <= 0
+  /// disables prediction entirely.
+  explicit Prefetcher(int readahead_blocks);
+
+  /// Reports a demand access covering blocks [first, first+count) and returns
+  /// the indices to prefetch (possibly empty, never an accessed block).
+  std::vector<std::uint64_t> on_access(std::uint64_t first, std::uint64_t count);
+
+  /// Forgets the access history (used on cache invalidation).
+  void reset();
+
+  // Introspection for tests.
+  std::int64_t stride() const { return stride_; }
+  int streak() const { return streak_; }
+
+ private:
+  const int readahead_;
+  bool have_last_ = false;
+  std::uint64_t last_first_ = 0;
+  std::uint64_t last_end_ = 0;
+  std::int64_t stride_ = 0;  // delta of `first` between consecutive accesses
+  int streak_ = 0;           // how many consecutive accesses kept that delta
+};
+
+}  // namespace remio::cache

@@ -1,0 +1,86 @@
+#include "cache/writeback.hpp"
+
+#include <algorithm>
+
+namespace remio::cache {
+
+WritebackBuffer::WritebackBuffer(std::size_t hwm, CacheCounters* counters)
+    : hwm_(hwm), counters_(counters) {}
+
+bool WritebackBuffer::mark_dirty(std::uint64_t index, std::size_t begin,
+                                 std::size_t end, std::size_t block_bytes) {
+  auto [it, inserted] = dirty_.try_emplace(index, Range{begin, end});
+  if (inserted) {
+    dirty_bytes_ += end - begin;
+    // A write that continues the previous block's dirty tail across the
+    // block boundary coalesces into the same future flush run.
+    if (counters_ && begin == 0) {
+      auto prev = dirty_.find(index - 1);
+      if (prev != dirty_.end() && prev->second.end == block_bytes)
+        CacheCounters::bump(counters_->writeback_coalesced);
+    }
+  } else {
+    Range& r = it->second;
+    const bool touches = begin <= r.end && end >= r.begin;
+    const std::size_t old = r.size();
+    r.begin = std::min(r.begin, begin);
+    r.end = std::max(r.end, end);
+    dirty_bytes_ += r.size() - old;
+    if (counters_ && touches && r.size() != old)
+      CacheCounters::bump(counters_->writeback_coalesced);
+  }
+  return dirty_bytes_ >= hwm_;
+}
+
+const WritebackBuffer::Range* WritebackBuffer::dirty_range(
+    std::uint64_t index) const {
+  auto it = dirty_.find(index);
+  return it == dirty_.end() ? nullptr : &it->second;
+}
+
+std::vector<WritebackBuffer::Run> WritebackBuffer::plan(
+    std::size_t block_bytes) const {
+  std::vector<Run> runs;
+  for (const auto& [index, range] : dirty_) {
+    const std::uint64_t start = index * block_bytes + range.begin;
+    if (!runs.empty() &&
+        runs.back().file_offset + runs.back().bytes == start) {
+      runs.back().bytes += range.size();
+      runs.back().parts.emplace_back(index, range);
+    } else {
+      Run run;
+      run.file_offset = start;
+      run.bytes = range.size();
+      run.parts.emplace_back(index, range);
+      runs.push_back(std::move(run));
+    }
+  }
+  return runs;
+}
+
+std::vector<WritebackBuffer::Run> WritebackBuffer::plan_block(
+    std::uint64_t index, std::size_t block_bytes) const {
+  std::vector<Run> runs;
+  auto it = dirty_.find(index);
+  if (it == dirty_.end()) return runs;
+  Run run;
+  run.file_offset = index * block_bytes + it->second.begin;
+  run.bytes = it->second.size();
+  run.parts.emplace_back(index, it->second);
+  runs.push_back(std::move(run));
+  return runs;
+}
+
+void WritebackBuffer::clear(std::uint64_t index) {
+  auto it = dirty_.find(index);
+  if (it == dirty_.end()) return;
+  dirty_bytes_ -= it->second.size();
+  dirty_.erase(it);
+}
+
+void WritebackBuffer::clear_all() {
+  dirty_.clear();
+  dirty_bytes_ = 0;
+}
+
+}  // namespace remio::cache

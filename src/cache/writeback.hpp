@@ -1,0 +1,77 @@
+// Write-behind bookkeeping for the client-side block cache: which byte range
+// of each resident block is dirty, how many dirty bytes are outstanding, and
+// how to flush them with the fewest wire round trips. The cache owns the
+// data; this class owns only the dirty metadata, so the coalescing policy is
+// testable without a broker.
+//
+// Coalescing model (ROMIO data-sieving spirit): each block keeps one dirty
+// interval [begin, end). A new write that overlaps or abuts it is merged —
+// that is the per-block coalescing that turns a run of small sequential
+// writes into one interval. At flush time, intervals of consecutive blocks
+// that meet at the block boundary are chained into a single contiguous file
+// run, and each run becomes one wire write.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cache/cache_stats.hpp"
+
+namespace remio::cache {
+
+class WritebackBuffer {
+ public:
+  /// `hwm` = dirty-bytes high-water mark; 0 means write-through (nothing is
+  /// ever marked dirty, mark_dirty must not be called).
+  WritebackBuffer(std::size_t hwm, CacheCounters* counters);
+
+  bool write_through() const { return hwm_ == 0; }
+
+  /// One dirty interval within one block, in block-relative bytes.
+  struct Range {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t size() const { return end - begin; }
+  };
+
+  /// A flush run: one contiguous file range assembled from the trailing/
+  /// leading dirty intervals of consecutive blocks — one wire write.
+  struct Run {
+    std::uint64_t file_offset = 0;
+    std::size_t bytes = 0;
+    std::vector<std::pair<std::uint64_t, Range>> parts;  // (block index, range)
+  };
+
+  /// Marks [begin, end) of block `index` dirty, merging with any existing
+  /// interval (gaps between disjoint intervals are marked dirty too — the
+  /// data between them is valid cache content, so flushing it is correct and
+  /// keeps one interval per block). Returns true when total dirty bytes
+  /// crossed the high-water mark.
+  bool mark_dirty(std::uint64_t index, std::size_t begin, std::size_t end,
+                  std::size_t block_bytes);
+
+  /// Dirty interval of one block, if any (used by eviction).
+  const Range* dirty_range(std::uint64_t index) const;
+
+  /// Plans the coalesced flush of everything dirty. Does not clear state.
+  std::vector<Run> plan(std::size_t block_bytes) const;
+
+  /// Plans the flush of a single block (eviction path).
+  std::vector<Run> plan_block(std::uint64_t index, std::size_t block_bytes) const;
+
+  /// Drops the dirty mark of one block (after its data reached the wire).
+  void clear(std::uint64_t index);
+  void clear_all();
+
+  std::size_t dirty_bytes() const { return dirty_bytes_; }
+  bool empty() const { return dirty_.empty(); }
+
+ private:
+  const std::size_t hwm_;
+  CacheCounters* counters_;
+  std::map<std::uint64_t, Range> dirty_;  // ordered: flush planning walks it
+  std::size_t dirty_bytes_ = 0;
+};
+
+}  // namespace remio::cache

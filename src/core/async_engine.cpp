@@ -68,6 +68,27 @@ mpiio::IoRequest AsyncEngine::submit(Task task) {
   return req;
 }
 
+bool AsyncEngine::try_submit(Task task) {
+  ensure_spawned();
+  // A discarded request absorbs the completion, keeping the worker loop
+  // oblivious to whether anyone waits.
+  mpiio::IoRequest req = mpiio::IoRequest::make();
+  {
+    std::lock_guard lk(pending_mu_);
+    ++pending_;
+  }
+  Item item{std::move(task), req.state()};
+  if (!queue_.try_push(std::move(item))) {
+    task_done();
+    return false;
+  }
+  if (stats_ != nullptr) {
+    stats_->add_task();
+    stats_->note_queue_depth(queue_.size());
+  }
+  return true;
+}
+
 void AsyncEngine::drain() {
   std::unique_lock lk(pending_mu_);
   pending_cv_.wait(lk, [&] { return pending_ == 0; });

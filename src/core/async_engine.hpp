@@ -35,6 +35,12 @@ class AsyncEngine {
   /// Enqueues FIFO; returns the completion handle (MPIO_Wait/Test on it).
   mpiio::IoRequest submit(Task task);
 
+  /// Non-blocking fire-and-forget enqueue for speculative work (cache
+  /// read-ahead): returns false instead of waiting when the queue is full or
+  /// the engine is shut down, so an I/O thread can submit without deadlock.
+  /// The task's result and any exception are discarded.
+  bool try_submit(Task task);
+
   /// Blocks until everything enqueued so far has completed.
   void drain();
 

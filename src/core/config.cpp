@@ -19,6 +19,22 @@ void validate(const Config& cfg) {
   // contiguous even split.
   if (cfg.queue_capacity == 0)
     throw std::invalid_argument("semplar::Config: queue_capacity must be > 0");
+  if (cfg.cache_block_bytes == 0)
+    throw std::invalid_argument("semplar::Config: cache_block_bytes must be > 0");
+  if (cfg.cache_bytes != 0 && cfg.cache_bytes < cfg.cache_block_bytes)
+    throw std::invalid_argument(
+        "semplar::Config: cache_bytes must hold at least one block");
+  if (cfg.readahead_blocks < 0 || cfg.readahead_blocks > 1024)
+    throw std::invalid_argument("semplar::Config: readahead_blocks out of range");
+  if (cfg.cache_bytes == 0 && cfg.readahead_blocks > 0)
+    throw std::invalid_argument(
+        "semplar::Config: readahead_blocks needs cache_bytes > 0");
+  if (cfg.cache_bytes == 0 && cfg.writeback_hwm > 0)
+    throw std::invalid_argument(
+        "semplar::Config: writeback_hwm needs cache_bytes > 0");
+  if (cfg.writeback_hwm > cfg.cache_bytes)
+    throw std::invalid_argument(
+        "semplar::Config: writeback_hwm exceeds cache_bytes");
 }
 
 }  // namespace remio::semplar

@@ -39,6 +39,24 @@ struct Config {
   /// I/O queue capacity (Fig. 2 queue); pushes beyond it block the caller.
   std::size_t queue_capacity = 1024;
 
+  /// Client-side block cache (src/cache). 0 = disabled (the paper's
+  /// configuration); >0 = total bytes of file data cached per open file.
+  std::size_t cache_bytes = 0;
+
+  /// Cache block size. Reads fetch whole tails of a block, so this is also
+  /// the intra-block read-ahead granularity.
+  std::size_t cache_block_bytes = 1u << 20;
+
+  /// Speculative read-ahead depth in blocks once a sequential or strided
+  /// pattern is confirmed. 0 = no prefetch. Needs cache_bytes > 0.
+  int readahead_blocks = 0;
+
+  /// Write-behind high-water mark in dirty bytes: writes are buffered and
+  /// coalesced until this much is dirty, then flushed as contiguous runs.
+  /// 0 = write-through (every write goes to the broker immediately, the
+  /// cache only absorbs re-reads). Needs cache_bytes > 0.
+  std::size_t writeback_hwm = 0;
+
   /// Per-connection transport tuning (TCP window, shared-resource charges
   /// such as the node I/O bus).
   simnet::ConnectOptions conn;

@@ -13,6 +13,7 @@
 //   remio::semplar::MPIO_Wait(req);
 #pragma once
 
+#include "cache/block_cache.hpp"
 #include "core/async_engine.hpp"
 #include "core/compress_pipe.hpp"
 #include "core/config.hpp"

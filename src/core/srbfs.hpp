@@ -3,18 +3,29 @@
 // like the original SEMPLAR; the asynchronous verbs route through the
 // multi-threaded engine and stripe each request across the file's TCP
 // streams, so transfers on both connections advance simultaneously (§7.2).
+//
+// With cfg.cache_bytes > 0 every verb additionally routes through the
+// client-side block cache (src/cache): re-reads are served locally,
+// sequential/strided reads trigger speculative read-ahead on the async
+// engine, and small writes coalesce into large write-behind flushes.
+// Cross-client coherence rides on an MCAT generation attribute checked on
+// open and size() and bumped whenever this handle's dirty data is flushed.
 #pragma once
 
+#include <atomic>
 #include <memory>
 
+#include "cache/block_cache.hpp"
 #include "core/async_engine.hpp"
 #include "core/config.hpp"
 #include "core/stream_pool.hpp"
 #include "mpiio/adio.hpp"
+#include "srb/generation.hpp"
 
 namespace remio::semplar {
 
-class SemplarFile final : public mpiio::adio::FileHandle {
+class SemplarFile final : public mpiio::adio::FileHandle,
+                          private cache::CacheBackend {
  public:
   SemplarFile(simnet::Fabric& fabric, const Config& cfg, const std::string& path,
               std::uint32_t mode);
@@ -42,8 +53,26 @@ class SemplarFile final : public mpiio::adio::FileHandle {
   StreamPool& streams() { return *streams_; }
   AsyncEngine& engine() { return *engine_; }
   const Config& config() const { return cfg_; }
+  bool cached() const { return cache_ != nullptr; }
+  cache::BlockCache* cache() { return cache_.get(); }
 
  private:
+  // --- CacheBackend: what the block cache calls back into ------------------
+  // Wire transfers round-robin across the file's streams so concurrent
+  // fills/flushes from different I/O threads use different connections.
+  std::size_t cache_pread(std::uint64_t offset, MutByteSpan out) override;
+  std::size_t cache_pwrite(std::uint64_t offset, ByteSpan data) override;
+  std::uint64_t cache_stat_size() override;
+  bool cache_run_async(std::function<void()> fn) override;
+
+  int pick_stream();
+
+  /// Coherence check (open, size()): re-reads the object's generation
+  /// attribute and invalidates cached blocks when another writer moved it.
+  void check_generation();
+  /// Publishes our dirty data's visibility: bumps the generation after a
+  /// flush that wrote anything (and remembers it so we don't self-invalidate).
+  void publish_generation();
   /// Plans a striped transfer: stream s handles chunks s, s+S, s+2S, ...
   /// of `stripe_size` each, and the whole per-stream series runs as one
   /// FIFO task so chunks on a stream stay ordered while streams proceed
@@ -55,6 +84,10 @@ class SemplarFile final : public mpiio::adio::FileHandle {
   Stats stats_;
   std::unique_ptr<StreamPool> streams_;
   std::unique_ptr<AsyncEngine> engine_;
+  std::unique_ptr<cache::BlockCache> cache_;  // null when cfg_.cache_bytes == 0
+  std::atomic<unsigned> rr_{0};               // backend stream round-robin
+  std::string writer_tag_;                    // this handle's generation tag
+  srb::Generation last_gen_;                  // last generation we observed
 };
 
 class SrbfsDriver final : public mpiio::adio::Driver {

@@ -1,10 +1,13 @@
 // Per-file SEMPLAR instrumentation: logical and wire byte counts, task
-// counts, queue depth high-water mark, and I/O-thread busy time. Snapshots
-// feed EXPERIMENTS.md's overlap and bandwidth numbers.
+// counts, queue depth high-water mark, I/O-thread busy time, and the block
+// cache's hit/miss/prefetch/coalescing counters. Snapshots feed
+// EXPERIMENTS.md's overlap and bandwidth numbers.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+
+#include "cache/cache_stats.hpp"
 
 namespace remio::semplar {
 
@@ -15,6 +18,14 @@ struct StatsSnapshot {
   std::uint64_t sync_calls = 0;
   std::uint64_t queue_peak = 0;
   double io_busy_sim = 0.0;  // simulated seconds I/O threads spent on tasks
+
+  // Block cache (all zero when the cache is disabled).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_useful = 0;  // prefetched blocks later demanded
+  std::uint64_t writeback_coalesced = 0;  // small writes merged into a run
+  std::uint64_t writeback_flushes = 0;    // coalesced wire writes issued
 };
 
 class Stats {
@@ -34,14 +45,27 @@ class Stats {
     io_busy_sim_.fetch_add(sim_seconds, std::memory_order_relaxed);
   }
 
+  /// The block cache writes its counters here directly.
+  cache::CacheCounters& cache() { return cache_; }
+
   StatsSnapshot snapshot() const {
+    // Monitoring read: each counter is independently consistent, so relaxed
+    // loads are enough — there is no release store to pair an acquire with.
     StatsSnapshot s;
-    s.bytes_written = bytes_written_.load();
-    s.bytes_read = bytes_read_.load();
-    s.async_tasks = async_tasks_.load();
-    s.sync_calls = sync_calls_.load();
-    s.queue_peak = queue_peak_.load();
-    s.io_busy_sim = io_busy_sim_.load();
+    s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    s.async_tasks = async_tasks_.load(std::memory_order_relaxed);
+    s.sync_calls = sync_calls_.load(std::memory_order_relaxed);
+    s.queue_peak = queue_peak_.load(std::memory_order_relaxed);
+    s.io_busy_sim = io_busy_sim_.load(std::memory_order_relaxed);
+    s.cache_hits = cache_.hits.load(std::memory_order_relaxed);
+    s.cache_misses = cache_.misses.load(std::memory_order_relaxed);
+    s.prefetch_issued = cache_.prefetch_issued.load(std::memory_order_relaxed);
+    s.prefetch_useful = cache_.prefetch_useful.load(std::memory_order_relaxed);
+    s.writeback_coalesced =
+        cache_.writeback_coalesced.load(std::memory_order_relaxed);
+    s.writeback_flushes =
+        cache_.writeback_flushes.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -52,6 +76,7 @@ class Stats {
   std::atomic<std::uint64_t> sync_calls_{0};
   std::atomic<std::uint64_t> queue_peak_{0};
   std::atomic<double> io_busy_sim_{0.0};
+  cache::CacheCounters cache_;
 };
 
 }  // namespace remio::semplar

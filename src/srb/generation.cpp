@@ -1,0 +1,39 @@
+#include "srb/generation.hpp"
+
+#include <cstdlib>
+
+namespace remio::srb {
+
+std::string format_generation(const Generation& g) {
+  return std::to_string(g.counter) + ":" + g.writer;
+}
+
+Generation parse_generation(const std::string& value) {
+  Generation g;
+  const auto sep = value.find(':');
+  if (sep == std::string::npos) return g;
+  char* end = nullptr;
+  const std::string num = value.substr(0, sep);
+  const unsigned long long parsed = std::strtoull(num.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || num.empty()) return Generation{};
+  g.counter = parsed;
+  g.writer = value.substr(sep + 1);
+  return g;
+}
+
+Generation read_generation(SrbClient& client, const std::string& path) {
+  const auto value = client.get_attr(path, kGenerationAttr);
+  if (!value) return Generation{};
+  return parse_generation(*value);
+}
+
+Generation bump_generation(SrbClient& client, const std::string& path,
+                           const std::string& writer_tag) {
+  Generation next = read_generation(client, path);
+  ++next.counter;
+  next.writer = writer_tag;
+  client.set_attr(path, kGenerationAttr, format_generation(next));
+  return next;
+}
+
+}  // namespace remio::srb

@@ -1,0 +1,48 @@
+// Cache-coherence generation counter, stored as an MCAT attribute of the
+// data object. Every client that writes through its cache bumps the counter
+// when its dirty data reaches the broker; every client checks it on open and
+// on size queries and invalidates its cached blocks when another writer's
+// value appears. The value carries a writer tag ("counter:writer") so two
+// clients bumping from the same base still observe *each other's* update —
+// a bare counter would let concurrent bumps collide into indistinguishable
+// values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "srb/client.hpp"
+
+namespace remio::srb {
+
+inline constexpr const char* kGenerationAttr = "semplar.cache.generation";
+
+struct Generation {
+  std::uint64_t counter = 0;
+  std::string writer;  // tag of the client that produced this generation
+
+  friend bool operator==(const Generation& a, const Generation& b) {
+    return a.counter == b.counter && a.writer == b.writer;
+  }
+  friend bool operator!=(const Generation& a, const Generation& b) {
+    return !(a == b);
+  }
+};
+
+/// Serialized attribute value ("counter:writer").
+std::string format_generation(const Generation& g);
+
+/// Parses an attribute value; malformed or absent input yields {0, ""} (a
+/// never-written object).
+Generation parse_generation(const std::string& value);
+
+/// Reads the object's current generation ({0,""} when the attribute does not
+/// exist yet — no cached writer has ever flushed).
+Generation read_generation(SrbClient& client, const std::string& path);
+
+/// Publishes a new generation: counter = current + 1, writer = `writer_tag`.
+/// Returns the value written.
+Generation bump_generation(SrbClient& client, const std::string& path,
+                           const std::string& writer_tag);
+
+}  // namespace remio::srb

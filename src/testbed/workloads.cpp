@@ -96,7 +96,10 @@ RunResult run_laplace(Testbed& tb, int procs, const LaplaceParams& p) {
     // Pre-spawned one thread per stream for multi-stream runs (§7.2);
     // lazy single thread otherwise (§7.1).
     const int io_threads = (p.async && p.streams > 1) ? p.streams : 0;
-    semplar::SrbfsDriver driver(tb.fabric(), tb.semplar_config(r, p.streams, io_threads));
+    semplar::Config cfg = tb.semplar_config(r, p.streams, io_threads);
+    cfg.cache_bytes = p.cache_bytes;
+    cfg.writeback_hwm = p.writeback_hwm;
+    semplar::SrbfsDriver driver(tb.fabric(), cfg);
 
     if (r == 0) {
       mpiio::File create(driver, p.path,
@@ -260,8 +263,11 @@ PerfResult run_perf(Testbed& tb, int procs, const PerfParams& p) {
     const std::uint64_t offset = static_cast<std::uint64_t>(r) * p.array_bytes;
 
     const int io_threads = p.io_threads > 0 ? p.io_threads : p.streams;
-    semplar::SrbfsDriver driver(tb.fabric(),
-                                tb.semplar_config(r, p.streams, io_threads));
+    semplar::Config cfg = tb.semplar_config(r, p.streams, io_threads);
+    cfg.cache_bytes = p.cache_bytes;
+    cfg.readahead_blocks = p.readahead_blocks;
+    cfg.writeback_hwm = p.writeback_hwm;
+    semplar::SrbfsDriver driver(tb.fabric(), cfg);
     if (r == 0) {
       mpiio::File create(driver, p.path,
                          mpiio::kModeWrite | mpiio::kModeCreate | mpiio::kModeTrunc);

@@ -48,6 +48,10 @@ struct LaplaceParams {
   int streams = 1;
   WaitPlacement wait = WaitPlacement::kBeforeNextWrite;
   std::string path = "/scratch/laplace.ckpt";
+  /// Client block cache (opt-in; 0 keeps the paper's uncached behaviour).
+  /// With writeback_hwm > 0 the checkpoint writes coalesce client-side.
+  std::size_t cache_bytes = 0;
+  std::size_t writeback_hwm = 0;
 };
 
 RunResult run_laplace(Testbed& tb, int procs, const LaplaceParams& p);
@@ -75,6 +79,11 @@ struct PerfParams {
   int io_threads = 0;  // 0 = one per stream (the §4.3 ideal)
   std::string path = "/scratch/perf.dat";
   bool verify = true;  // spot-check read-back contents
+  /// Client block cache (opt-in; 0 keeps the paper's uncached behaviour).
+  /// With readahead_blocks > 0 the read phase prefetches sequentially.
+  std::size_t cache_bytes = 0;
+  int readahead_blocks = 0;
+  std::size_t writeback_hwm = 0;
 };
 
 struct PerfResult {
