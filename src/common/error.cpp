@@ -1,0 +1,50 @@
+#include "common/error.hpp"
+
+namespace remio {
+
+const char* domain_name(ErrorDomain d) {
+  switch (d) {
+    case ErrorDomain::kGeneric: return "generic";
+    case ErrorDomain::kTransport: return "transport";
+    case ErrorDomain::kBroker: return "broker";
+    case ErrorDomain::kProtocol: return "protocol";
+    case ErrorDomain::kEngine: return "engine";
+    case ErrorDomain::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
+Status Status::failure(ErrorInfo info, std::string message) {
+  Status s;
+  s.rep_ = std::make_shared<const Rep>(Rep{std::move(info), std::move(message)});
+  return s;
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return rep_ != nullptr ? rep_->message : kEmpty;
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string out = domain_name(rep_->info.domain);
+  if (rep_->info.retryable) out += " (retryable)";
+  out += ": ";
+  out += rep_->message;
+  return out;
+}
+
+Status status_from_exception(const std::exception_ptr& e) {
+  if (e == nullptr) return {};
+  try {
+    std::rethrow_exception(e);
+  } catch (const StatusError& err) {
+    return err.to_status();
+  } catch (const std::exception& err) {
+    return Status::failure({}, err.what());
+  } catch (...) {
+    return Status::failure({}, "unknown exception");
+  }
+}
+
+}  // namespace remio

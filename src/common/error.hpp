@@ -1,0 +1,99 @@
+// Unified error surface shared by every layer (simnet, srb, mpiio, core).
+//
+// The library reports failures two ways, with one taxonomy underneath:
+//   * exceptions — NetError / SrbError / IoError all derive from StatusError
+//     and therefore carry an ErrorInfo (domain, code, retryable flag, op
+//     context) next to the human-readable what();
+//   * values — remio::Status, the non-throwing mirror returned by accessors
+//     such as IoRequest::wait_status(), built from the same ErrorInfo.
+//
+// The `retryable` bit is the contract the transport supervisor keys on: a
+// retryable failure is transient (connection drop, broker restarting) and a
+// reconnect + replay of the same idempotent, offset-addressed operation may
+// succeed; a non-retryable failure is permanent (bad argument, missing
+// object, malformed frame) and must surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace remio {
+
+/// Which layer produced a failure.
+enum class ErrorDomain : std::uint8_t {
+  kGeneric = 0,  // unclassified library error
+  kTransport,    // connection-level: drops, resets, refused dials
+  kBroker,       // the broker answered with a non-OK protocol status
+  kProtocol,     // malformed or oversized frames
+  kEngine,       // async-engine lifecycle (queue closed, shut down)
+  kDeadline,     // a supervised operation exhausted its op deadline
+};
+
+const char* domain_name(ErrorDomain d);
+
+/// Machine-readable half of an error, carried by every library exception.
+struct ErrorInfo {
+  ErrorDomain domain = ErrorDomain::kGeneric;
+  /// Domain-specific code (the srb::Status for kBroker, 0 elsewhere).
+  std::int32_t code = 0;
+  /// Transient failure: reconnect + replay may succeed (see file comment).
+  bool retryable = false;
+  /// Operation context for diagnostics ("pwrite", "connect", ...).
+  std::string op;
+};
+
+/// Value-type completion status: ok(), or an ErrorInfo plus message. Cheap
+/// to copy (ok is a null pointer; errors share one immutable rep).
+class Status {
+ public:
+  Status() = default;  // ok
+
+  static Status failure(ErrorInfo info, std::string message);
+
+  bool ok() const { return rep_ == nullptr; }
+  bool retryable() const { return rep_ != nullptr && rep_->info.retryable; }
+  ErrorDomain domain() const {
+    return rep_ != nullptr ? rep_->info.domain : ErrorDomain::kGeneric;
+  }
+  std::int32_t code() const { return rep_ != nullptr ? rep_->info.code : 0; }
+  /// Empty string when ok.
+  const std::string& message() const;
+  /// Null when ok.
+  const ErrorInfo* info() const { return rep_ != nullptr ? &rep_->info : nullptr; }
+  /// "OK" or "<domain>[ retryable]: <message>".
+  std::string to_string() const;
+
+ private:
+  struct Rep {
+    ErrorInfo info;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Base class of the library's exceptions. Catching `const StatusError&`
+/// sees every classified failure; `retryable()` decides replay vs fail-fast.
+class StatusError : public std::runtime_error {
+ public:
+  StatusError(ErrorInfo info, const std::string& what)
+      : std::runtime_error(what), info_(std::move(info)) {}
+
+  const ErrorInfo& info() const { return info_; }
+  ErrorDomain domain() const { return info_.domain; }
+  bool retryable() const { return info_.retryable; }
+  std::int32_t code() const { return info_.code; }
+  Status to_status() const { return Status::failure(info_, what()); }
+
+ private:
+  ErrorInfo info_;
+};
+
+/// Status view of an arbitrary in-flight exception: a StatusError keeps its
+/// taxonomy, any other exception maps to non-retryable kGeneric. Null maps
+/// to ok.
+Status status_from_exception(const std::exception_ptr& e);
+
+}  // namespace remio

@@ -1,16 +1,20 @@
 #include "core/async_engine.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "common/error.hpp"
 #include "simnet/timescale.hpp"
 
 namespace remio::semplar {
 
 AsyncEngine::AsyncEngine(int threads, std::size_t queue_capacity, bool lazy_spawn,
-                         Stats* stats)
+                         Stats* stats, const Config::Retry& retry)
     : threads_requested_(threads),
       lazy_(lazy_spawn),
       stats_(stats),
+      retry_(retry),
+      backoff_(retry, 0xa57eu),
       queue_(queue_capacity) {
   if (threads < 1) throw std::invalid_argument("AsyncEngine: threads < 1");
   if (lazy_spawn && threads != 1)
@@ -31,14 +35,121 @@ void AsyncEngine::ensure_spawned() {
 void AsyncEngine::worker_loop() {
   while (auto item = queue_.pop()) {
     const double t0 = simnet::sim_now();
+    std::size_t n = 0;
+    std::exception_ptr err;
     try {
-      const std::size_t n = item->task();
-      mpiio::IoRequest::complete(item->state, n);
+      n = item->task();
     } catch (...) {
-      mpiio::IoRequest::fail(item->state, std::current_exception());
+      err = std::current_exception();
     }
     if (stats_ != nullptr) stats_->add_busy(simnet::sim_now() - t0);
-    task_done();
+    if (err == nullptr)
+      finish(std::move(*item), n);
+    else
+      handle_failure(std::move(*item), err);
+  }
+}
+
+void AsyncEngine::finish(Item item, std::size_t n) {
+  mpiio::IoRequest::complete(item.state, n);
+  if (item.done) item.done(n, nullptr);
+  task_done();
+}
+
+void AsyncEngine::fail_item(Item item, std::exception_ptr err) {
+  mpiio::IoRequest::fail(item.state, err);
+  if (item.done) item.done(0, err);
+  task_done();
+}
+
+void AsyncEngine::handle_failure(Item item, std::exception_ptr err) {
+  if (!item.supervised || !retry_.enabled()) {
+    fail_item(std::move(item), err);
+    return;
+  }
+  const remio::Status st = remio::status_from_exception(err);
+  if (!st.retryable() || item.attempt + 1 >= retry_.max_attempts) {
+    fail_item(std::move(item), err);
+    return;
+  }
+  const double delay = backoff_.delay(item.attempt);
+  if (retry_.op_deadline > 0.0 &&
+      simnet::sim_now() - item.start_sim + delay > retry_.op_deadline) {
+    if (stats_ != nullptr) stats_->add_deadline_expiration();
+    fail_item(std::move(item),
+              std::make_exception_ptr(mpiio::IoError(
+                  {remio::ErrorDomain::kDeadline, 0, /*retryable=*/false,
+                   "supervise"},
+                  "op deadline (" + std::to_string(retry_.op_deadline) +
+                      "s sim) exceeded after " +
+                      std::to_string(item.attempt + 1) + " attempts: " +
+                      st.message())));
+    return;
+  }
+  ++item.attempt;
+  if (stats_ != nullptr) {
+    stats_->add_backoff(delay);
+    stats_->add_replayed_op();
+  }
+  defer(std::move(item), simnet::sim_now() + delay);
+}
+
+void AsyncEngine::defer(Item item, double due) {
+  std::unique_lock lk(defer_mu_);
+  if (timer_stop_) {
+    lk.unlock();
+    fail_item(std::move(item),
+              std::make_exception_ptr(mpiio::IoError("engine shut down")));
+    return;
+  }
+  if (!timer_spawned_) {
+    timer_spawned_ = true;
+    timer_ = std::thread([this] { timer_loop(); });
+  }
+  deferred_.push(Deferred{due, std::move(item)});
+  defer_cv_.notify_all();
+}
+
+void AsyncEngine::timer_loop() {
+  std::unique_lock lk(defer_mu_);
+  while (true) {
+    if (timer_stop_) {
+      // Shutdown: fail what is still parked instead of waiting out backoffs.
+      while (!deferred_.empty()) {
+        Item item = std::move(const_cast<Deferred&>(deferred_.top()).item);
+        deferred_.pop();
+        lk.unlock();
+        fail_item(std::move(item),
+                  std::make_exception_ptr(mpiio::IoError("engine shut down")));
+        lk.lock();
+      }
+      return;
+    }
+    if (deferred_.empty()) {
+      defer_cv_.wait(lk);
+      continue;
+    }
+    const double due = deferred_.top().due;
+    if (simnet::sim_now() < due) {
+      defer_cv_.wait_until(lk, simnet::wall_deadline(due));
+      continue;
+    }
+    Item item = std::move(const_cast<Deferred&>(deferred_.top()).item);
+    deferred_.pop();
+    // Keep handles to the completion in case the queue closed under us
+    // (push would consume the item either way).
+    auto state = item.state;
+    auto done = item.done;
+    lk.unlock();
+    // Back onto the FIFO: the replay runs in arrival order with whatever
+    // else is queued, on any free I/O thread.
+    if (!queue_.push(std::move(item))) {
+      auto err = std::make_exception_ptr(mpiio::IoError("engine shut down"));
+      mpiio::IoRequest::fail(state, err);
+      if (done) done(0, err);
+      task_done();
+    }
+    lk.lock();
   }
 }
 
@@ -48,9 +159,10 @@ void AsyncEngine::task_done() {
   if (pending_ == 0) pending_cv_.notify_all();
 }
 
-mpiio::IoRequest AsyncEngine::submit(Task task) {
+mpiio::IoRequest AsyncEngine::enqueue(Item item) {
   ensure_spawned();  // §4.3: first asynchronous call spawns the I/O thread
   mpiio::IoRequest req = mpiio::IoRequest::make();
+  item.state = req.state();
   if (stats_ != nullptr) {
     stats_->add_task();
     stats_->note_queue_depth(queue_.size() + 1);
@@ -59,13 +171,27 @@ mpiio::IoRequest AsyncEngine::submit(Task task) {
     std::lock_guard lk(pending_mu_);
     ++pending_;
   }
-  Item item{std::move(task), req.state()};
   if (!queue_.push(std::move(item))) {
     task_done();
     mpiio::IoRequest::fail(req.state(),
                            std::make_exception_ptr(mpiio::IoError("engine shut down")));
   }
   return req;
+}
+
+mpiio::IoRequest AsyncEngine::submit(Task task) {
+  Item item;
+  item.task = std::move(task);
+  return enqueue(std::move(item));
+}
+
+mpiio::IoRequest AsyncEngine::submit_supervised(Task task, Completion done) {
+  Item item;
+  item.task = std::move(task);
+  item.done = std::move(done);
+  item.supervised = true;
+  item.start_sim = simnet::sim_now();
+  return enqueue(std::move(item));
 }
 
 bool AsyncEngine::try_submit(Task task) {
@@ -77,7 +203,9 @@ bool AsyncEngine::try_submit(Task task) {
     std::lock_guard lk(pending_mu_);
     ++pending_;
   }
-  Item item{std::move(task), req.state()};
+  Item item;
+  item.task = std::move(task);
+  item.state = req.state();
   if (!queue_.try_push(std::move(item))) {
     task_done();
     return false;
@@ -98,6 +226,14 @@ void AsyncEngine::shutdown() {
   std::lock_guard lk(lifecycle_mu_);
   if (shut_down_) return;
   shut_down_ = true;
+  {
+    // Stop the replay timer first so nothing re-enters the queue after it
+    // closes; the timer fails everything still parked on its way out.
+    std::lock_guard dlk(defer_mu_);
+    timer_stop_ = true;
+    defer_cv_.notify_all();
+  }
+  if (timer_.joinable()) timer_.join();
   queue_.close();  // workers drain the remaining items, then exit
   for (auto& w : workers_) w.join();
 }

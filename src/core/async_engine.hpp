@@ -6,14 +6,26 @@
 // spawned by the first asynchronous call; in pre-spawned mode the pool is
 // created up front (the §7.2 configuration, ideally one thread per TCP
 // stream).
+//
+// Supervision (Config::Retry enabled): tasks submitted through
+// submit_supervised() that fail with a *retryable* error (see
+// common/error.hpp) are not failed immediately. They are parked in a
+// deferred min-heap keyed by their backoff due-time and re-enqueued onto
+// the FIFO queue by a timer thread when the backoff elapses — I/O threads
+// never sleep on a backoff, so unrelated queued requests keep flowing
+// while a failed one waits out its delay.
 #pragma once
 
+#include <condition_variable>
 #include <functional>
+#include <queue>
 #include <thread>
 #include <vector>
 
 #include "common/queue.hpp"
+#include "core/config.hpp"
 #include "core/stats.hpp"
+#include "core/supervisor.hpp"
 #include "mpiio/request.hpp"
 
 namespace remio::semplar {
@@ -22,18 +34,30 @@ class AsyncEngine {
  public:
   /// A task performs one synchronous I/O call and returns bytes moved.
   using Task = std::function<std::size_t()>;
+  /// Invoked exactly once with the task's *final* outcome — after any
+  /// replays — with (bytes, error); error is null on success. Runs on an
+  /// I/O thread; must not block on the engine.
+  using Completion = std::function<void(std::size_t, std::exception_ptr)>;
 
   /// threads >= 1. If lazy_spawn, threads must be 1 and the thread starts
-  /// on the first submit().
+  /// on the first submit(). `retry` (default: disabled) enables the
+  /// deferred-replay supervisor for submit_supervised() tasks.
   AsyncEngine(int threads, std::size_t queue_capacity, bool lazy_spawn,
-              Stats* stats = nullptr);
+              Stats* stats = nullptr, const Config::Retry& retry = {});
   ~AsyncEngine();
 
   AsyncEngine(const AsyncEngine&) = delete;
   AsyncEngine& operator=(const AsyncEngine&) = delete;
 
   /// Enqueues FIFO; returns the completion handle (MPIO_Wait/Test on it).
+  /// A failed task fails its request on the first error (no replay).
   mpiio::IoRequest submit(Task task);
+
+  /// Like submit(), but retryable failures are replayed after a capped,
+  /// jittered backoff (without occupying an I/O thread while waiting).
+  /// The task must be idempotent — it re-runs from scratch. `done`, if
+  /// set, observes the final outcome (for striped-join bookkeeping).
+  mpiio::IoRequest submit_supervised(Task task, Completion done = {});
 
   /// Non-blocking fire-and-forget enqueue for speculative work (cache
   /// read-ahead): returns false instead of waiting when the queue is full or
@@ -41,10 +65,13 @@ class AsyncEngine {
   /// The task's result and any exception are discarded.
   bool try_submit(Task task);
 
-  /// Blocks until everything enqueued so far has completed.
+  /// Blocks until everything enqueued so far has completed — including
+  /// deferred replays still waiting out a backoff.
   void drain();
 
-  /// Stops accepting work, drains, joins. Idempotent; called by dtor.
+  /// Stops accepting work, drains, joins. Pending deferred replays are
+  /// failed immediately (shutdown does not wait out backoffs). Idempotent;
+  /// called by dtor.
   void shutdown();
 
   int thread_count() const { return threads_requested_; }
@@ -53,22 +80,52 @@ class AsyncEngine {
   struct Item {
     Task task;
     std::shared_ptr<mpiio::IoRequest::State> state;
+    Completion done;            // empty unless submit_supervised
+    bool supervised = false;
+    int attempt = 0;            // completed attempts so far
+    double start_sim = 0.0;     // first-submission sim time (op_deadline)
+  };
+  struct Deferred {
+    double due;  // sim time at which the replay may run
+    Item item;
+  };
+  struct DeferredLater {
+    bool operator()(const Deferred& a, const Deferred& b) const {
+      return a.due > b.due;  // min-heap on due time
+    }
   };
 
   void ensure_spawned();
   void worker_loop();
+  void timer_loop();
+  mpiio::IoRequest enqueue(Item item);
+  void finish(Item item, std::size_t n);
+  void fail_item(Item item, std::exception_ptr err);
+  void handle_failure(Item item, std::exception_ptr err);
+  void defer(Item item, double due);
   void task_done();
 
   const int threads_requested_;
   const bool lazy_;
   Stats* stats_;
+  const Config::Retry retry_;
+  Backoff backoff_;
   BoundedQueue<Item> queue_;
   std::vector<std::thread> workers_;
   std::once_flag spawn_once_;
   std::mutex lifecycle_mu_;
   bool shut_down_ = false;
 
-  // Outstanding (queued or running) task count, for drain().
+  // Deferred replays (supervision). The timer thread is spawned on the
+  // first defer — fault-free runs never pay for it.
+  std::mutex defer_mu_;
+  std::condition_variable defer_cv_;
+  std::priority_queue<Deferred, std::vector<Deferred>, DeferredLater> deferred_;
+  std::thread timer_;
+  bool timer_spawned_ = false;
+  bool timer_stop_ = false;
+
+  // Outstanding (queued, running, or deferred) task count, for drain().
   std::mutex pending_mu_;
   std::condition_variable pending_cv_;
   std::size_t pending_ = 0;

@@ -35,6 +35,26 @@ void validate(const Config& cfg) {
   if (cfg.writeback_hwm > cfg.cache_bytes)
     throw std::invalid_argument(
         "semplar::Config: writeback_hwm exceeds cache_bytes");
+  if (cfg.conn.quantum == 0)
+    throw std::invalid_argument("semplar::Config: conn.quantum must be > 0");
+  if (cfg.conn.buffer_bytes == 0)
+    throw std::invalid_argument(
+        "semplar::Config: conn.buffer_bytes must be > 0");
+  if (cfg.retry.max_attempts < 0 || cfg.retry.max_attempts > 1000)
+    throw std::invalid_argument(
+        "semplar::Config: retry.max_attempts out of range [0, 1000]");
+  if (cfg.retry.backoff_base < 0.0)
+    throw std::invalid_argument(
+        "semplar::Config: retry.backoff_base must be >= 0");
+  if (cfg.retry.backoff_cap < cfg.retry.backoff_base)
+    throw std::invalid_argument(
+        "semplar::Config: retry.backoff_cap must be >= retry.backoff_base");
+  if (cfg.retry.jitter < 0.0 || cfg.retry.jitter >= 1.0)
+    throw std::invalid_argument(
+        "semplar::Config: retry.jitter must be in [0, 1)");
+  if (cfg.retry.op_deadline < 0.0)
+    throw std::invalid_argument(
+        "semplar::Config: retry.op_deadline must be >= 0");
 }
 
 }  // namespace remio::semplar

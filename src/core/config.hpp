@@ -61,13 +61,39 @@ struct Config {
   /// such as the node I/O bus).
   simnet::ConnectOptions conn;
 
+  /// Transport supervision: reconnect / retry / backoff for transient
+  /// (retryable) failures on the SRB streams. Defaults to OFF
+  /// (max_attempts == 0), preserving the paper's fail-fast behaviour —
+  /// every knob here only takes effect once max_attempts > 0.
+  struct Retry {
+    /// Total attempts per operation (first try + replays). 0 disables
+    /// supervision entirely.
+    int max_attempts = 0;
+    /// Delay before the first replay, simulated seconds. Doubles each
+    /// further replay (capped below, jittered).
+    double backoff_base = 0.05;
+    /// Ceiling on the exponential backoff, simulated seconds.
+    double backoff_cap = 2.0;
+    /// Randomized fraction of each delay, in [0, 1): the actual delay is
+    /// uniform in (delay * (1 - jitter), delay]. Decorrelates the retry
+    /// storms of many ranks hitting a restarting broker.
+    double jitter = 0.5;
+    /// Per-operation deadline including backoff, simulated seconds;
+    /// 0 = none. Expiry surfaces as an ErrorDomain::kDeadline failure.
+    double op_deadline = 0.0;
+
+    bool enabled() const { return max_attempts > 0; }
+  };
+  Retry retry;
+
   /// Effective I/O thread count (resolving the lazy-0 convention).
   int effective_io_threads() const { return io_threads <= 0 ? 1 : io_threads; }
   bool lazy_spawn() const { return io_threads <= 0; }
 };
 
-/// Validates invariants (positive streams, stripe size, ...). Throws
-/// std::invalid_argument with a field-specific message.
+/// Validates invariants (positive streams, stripe size, retry schedule,
+/// connection tuning, ...). Throws std::invalid_argument with a
+/// field-specific message.
 void validate(const Config& cfg);
 
 }  // namespace remio::semplar

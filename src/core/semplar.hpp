@@ -11,6 +11,18 @@
 //   auto req = f.iwrite_at(0, buffer);         // MPI_File_iwrite
 //   ... compute ...
 //   remio::semplar::MPIO_Wait(req);
+//
+// Error contract (the exception / Status dual — common/error.hpp):
+// every library exception derives remio::StatusError and carries an
+// ErrorInfo {domain, code, retryable, op}. Throwing callers catch
+// SrbError / IoError / NetError as before; non-throwing callers use
+// IoRequest::wait_status() / error(), which package the same taxonomy as
+// a remio::Status value. With Config::retry enabled, the transport
+// supervisor (core/stream_pool.hpp, core/async_engine.hpp) consumes
+// `retryable()` internally — reconnecting, backing off, and replaying
+// idempotent ops — so only permanent failures reach either surface.
+// With retry disabled (default) every failure is delivered fail-fast,
+// matching the paper's behaviour.
 #pragma once
 
 #include "cache/block_cache.hpp"

@@ -18,12 +18,13 @@ SemplarFile::SemplarFile(simnet::Fabric& fabric, const Config& cfg,
   if (mode & mpiio::kModeCreate) srb_flags |= srb::kCreate;
   if (mode & mpiio::kModeTrunc) srb_flags |= srb::kTrunc;
 
-  streams_ = std::make_unique<StreamPool>(fabric, cfg_, path, srb_flags);
+  streams_ =
+      std::make_unique<StreamPool>(fabric, cfg_, path, srb_flags, &stats_);
   // §4.3: by default one I/O thread spawned lazily on the first async call;
   // pre-spawned pool when io_threads >= 1 is requested explicitly.
   engine_ = std::make_unique<AsyncEngine>(cfg_.effective_io_threads(),
                                           cfg_.queue_capacity, cfg_.lazy_spawn(),
-                                          &stats_);
+                                          &stats_, cfg_.retry);
   if (cfg_.cache_bytes > 0) {
     static std::atomic<std::uint64_t> handle_seq{0};
     writer_tag_ = cfg_.client_host + "#" + std::to_string(++handle_seq);
@@ -189,31 +190,42 @@ mpiio::IoRequest SemplarFile::submit_striped(std::uint64_t offset, Span data) {
   join->remaining.store(active);
 
   for (int s = 0; s < active; ++s) {
-    engine_->submit([this, join, s, stream_count, stripe, offset, data] {
-      try {
-        std::size_t moved = 0;
-        for (std::size_t start = static_cast<std::size_t>(s) * stripe;
-             start < data.size();
-             start += static_cast<std::size_t>(stream_count) * stripe) {
-          const std::size_t len = std::min(stripe, data.size() - start);
-          if constexpr (IsWrite) {
-            moved += streams_->pwrite(s, data.subspan(start, len), offset + start);
-          } else {
-            moved += streams_->pread(s, data.subspan(start, len), offset + start);
+    // The task throws on failure so the engine can classify and replay it
+    // (submit_supervised); it re-runs from scratch, which is safe because
+    // every chunk is offset-addressed. With a dead stream the pool's
+    // *_once flavours transparently re-route `s` onto a survivor. Join
+    // bookkeeping happens in the completion — once per task, after the
+    // final attempt.
+    engine_->submit_supervised(
+        [this, s, stream_count, stripe, offset, data] {
+          std::size_t moved = 0;
+          for (std::size_t start = static_cast<std::size_t>(s) * stripe;
+               start < data.size();
+               start += static_cast<std::size_t>(stream_count) * stripe) {
+            const std::size_t len = std::min(stripe, data.size() - start);
+            if constexpr (IsWrite) {
+              moved +=
+                  streams_->pwrite_once(s, data.subspan(start, len), offset + start);
+            } else {
+              moved +=
+                  streams_->pread_once(s, data.subspan(start, len), offset + start);
+            }
           }
-        }
-        join->bytes.fetch_add(moved);
-        if constexpr (IsWrite) {
-          stats_.add_write(moved);
-        } else {
-          stats_.add_read(moved);
-        }
-      } catch (...) {
-        join->record_error(std::current_exception());
-      }
-      join->finish_one();
-      return std::size_t{0};
-    });
+          return moved;
+        },
+        [this, join](std::size_t moved, std::exception_ptr err) {
+          if (err == nullptr) {
+            join->bytes.fetch_add(moved);
+            if constexpr (IsWrite) {
+              stats_.add_write(moved);
+            } else {
+              stats_.add_read(moved);
+            }
+          } else {
+            join->record_error(err);
+          }
+          join->finish_one();
+        });
   }
   return master;
 }

@@ -19,6 +19,12 @@ struct StatsSnapshot {
   std::uint64_t queue_peak = 0;
   double io_busy_sim = 0.0;  // simulated seconds I/O threads spent on tasks
 
+  // Transport supervision (all zero when retries are disabled).
+  std::uint64_t reconnects = 0;           // successful re-dials + re-logins
+  std::uint64_t replayed_ops = 0;         // ops re-run after transient failure
+  std::uint64_t deadline_expirations = 0; // supervised ops that ran out of time
+  double backoff_sim_seconds = 0.0;       // total simulated backoff slept
+
   // Block cache (all zero when the cache is disabled).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
@@ -44,6 +50,12 @@ class Stats {
     // Atomic add on double via CAS (C++20 fetch_add on atomic<double>).
     io_busy_sim_.fetch_add(sim_seconds, std::memory_order_relaxed);
   }
+  void add_reconnect() { ++reconnects_; }
+  void add_replayed_op() { ++replayed_ops_; }
+  void add_deadline_expiration() { ++deadline_expirations_; }
+  void add_backoff(double sim_seconds) {
+    backoff_sim_.fetch_add(sim_seconds, std::memory_order_relaxed);
+  }
 
   /// The block cache writes its counters here directly.
   cache::CacheCounters& cache() { return cache_; }
@@ -58,6 +70,11 @@ class Stats {
     s.sync_calls = sync_calls_.load(std::memory_order_relaxed);
     s.queue_peak = queue_peak_.load(std::memory_order_relaxed);
     s.io_busy_sim = io_busy_sim_.load(std::memory_order_relaxed);
+    s.reconnects = reconnects_.load(std::memory_order_relaxed);
+    s.replayed_ops = replayed_ops_.load(std::memory_order_relaxed);
+    s.deadline_expirations =
+        deadline_expirations_.load(std::memory_order_relaxed);
+    s.backoff_sim_seconds = backoff_sim_.load(std::memory_order_relaxed);
     s.cache_hits = cache_.hits.load(std::memory_order_relaxed);
     s.cache_misses = cache_.misses.load(std::memory_order_relaxed);
     s.prefetch_issued = cache_.prefetch_issued.load(std::memory_order_relaxed);
@@ -76,6 +93,10 @@ class Stats {
   std::atomic<std::uint64_t> sync_calls_{0};
   std::atomic<std::uint64_t> queue_peak_{0};
   std::atomic<double> io_busy_sim_{0.0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> replayed_ops_{0};
+  std::atomic<std::uint64_t> deadline_expirations_{0};
+  std::atomic<double> backoff_sim_{0.0};
   cache::CacheCounters cache_;
 };
 

@@ -1,24 +1,35 @@
 #include "core/stream_pool.hpp"
 
+#include <exception>
+#include <utility>
+
 #include "common/log.hpp"
+#include "mpiio/request.hpp"
+#include "simnet/timescale.hpp"
 
 namespace remio::semplar {
 
 StreamPool::StreamPool(simnet::Fabric& fabric, const Config& cfg,
-                       const std::string& path, std::uint32_t srb_flags)
-    : path_(path) {
+                       const std::string& path, std::uint32_t srb_flags,
+                       Stats* stats)
+    : fabric_(fabric),
+      cfg_(cfg),
+      path_(path),
+      reopen_flags_(srb_flags & ~(srb::kCreate | srb::kTrunc)),
+      stats_(stats),
+      backoff_(cfg.retry, 0x5eedu ^ static_cast<std::uint64_t>(path.size())) {
   validate(cfg);
   streams_.reserve(static_cast<std::size_t>(cfg.streams_per_node));
   for (int i = 0; i < cfg.streams_per_node; ++i) {
-    Stream s;
-    s.client = std::make_unique<srb::SrbClient>(
+    auto s = std::make_unique<Stream>();
+    s->client = std::make_shared<srb::SrbClient>(
         fabric, cfg.client_host, cfg.server_host, cfg.server_port, cfg.conn,
-        "semplar/" + cfg.client_host + "/s" + std::to_string(i));
+        stream_tag(i));
     // Only the first stream may create or truncate; the others must see the
     // object the first one produced.
     std::uint32_t flags = srb_flags;
     if (i > 0) flags &= ~(srb::kCreate | srb::kTrunc);
-    s.fd = s.client->open(path, flags);
+    s->fd = s->client->open(path, flags);
     streams_.push_back(std::move(s));
   }
 }
@@ -31,30 +42,213 @@ StreamPool::~StreamPool() {
   }
 }
 
-std::size_t StreamPool::pread(int stream, MutByteSpan out, std::uint64_t offset) {
-  Stream& s = streams_[static_cast<std::size_t>(stream)];
-  return s.client->pread(s.fd, out, offset);
+std::string StreamPool::stream_tag(int idx) const {
+  return "semplar/" + cfg_.client_host + "/s" + std::to_string(idx);
 }
 
-std::size_t StreamPool::pwrite(int stream, ByteSpan data, std::uint64_t offset) {
-  Stream& s = streams_[static_cast<std::size_t>(stream)];
-  return s.client->pwrite(s.fd, data, offset);
+int StreamPool::alive_count() const {
+  int n = 0;
+  for (const auto& s : streams_)
+    if (s->health.load(std::memory_order_relaxed) != Health::kDead) ++n;
+  return n;
+}
+
+int StreamPool::resolve(int requested) const {
+  const int n = count();
+  for (int k = 0; k < n; ++k) {
+    const int idx = (requested + k) % n;
+    if (streams_[static_cast<std::size_t>(idx)]->health.load(
+            std::memory_order_relaxed) != Health::kDead)
+      return idx;
+  }
+  throw mpiio::IoError({remio::ErrorDomain::kTransport, 0,
+                        /*retryable=*/false, "route"},
+                       "all streams dead: " + path_);
+}
+
+bool StreamPool::alive_other(int idx) const {
+  for (int i = 0; i < count(); ++i) {
+    if (i == idx) continue;
+    if (streams_[static_cast<std::size_t>(i)]->health.load(
+            std::memory_order_relaxed) != Health::kDead)
+      return true;
+  }
+  return false;
+}
+
+void StreamPool::repair_locked(Stream& s, int idx) {
+  // Full SRB session re-establishment: dial, login handshake (SrbClient
+  // constructor), then reopen the data object *without* create/trunc so a
+  // reconnect can never clobber data the first open produced.
+  auto fresh = std::make_shared<srb::SrbClient>(
+      fabric_, cfg_.client_host, cfg_.server_host, cfg_.server_port, cfg_.conn,
+      stream_tag(idx));
+  const std::int32_t fd = fresh->open(path_, reopen_flags_);
+  if (s.client != nullptr) {
+    // Keep lifetime wire totals monotone across the client swap.
+    s.retired_sent += s.client->bytes_sent();
+    s.retired_received += s.client->bytes_received();
+  }
+  s.client = std::move(fresh);
+  s.fd = fd;
+  s.health.store(Health::kUp, std::memory_order_relaxed);
+  s.repair_failures = 0;
+  if (stats_ != nullptr) stats_->add_reconnect();
+  REMIO_LOG_DEBUG("stream ", idx, " of ", path_, " reconnected");
+}
+
+void StreamPool::note_failure(int idx,
+                              const std::shared_ptr<srb::SrbClient>& failed) {
+  Stream& s = *streams_[static_cast<std::size_t>(idx)];
+  std::lock_guard lk(s.mu);
+  // Only demote if the failure came from the client currently installed;
+  // a concurrent repair may already have replaced it.
+  if (s.client == failed &&
+      s.health.load(std::memory_order_relaxed) == Health::kUp)
+    s.health.store(Health::kDown, std::memory_order_relaxed);
+}
+
+template <class Fn>
+auto StreamPool::once(int requested, Fn&& fn) {
+  if (!cfg_.retry.enabled()) {
+    // Fail-fast (paper) mode: exactly one attempt on the requested stream,
+    // no health tracking, no re-routing.
+    Stream& s = *streams_[static_cast<std::size_t>(requested)];
+    return fn(*s.client, s.fd);
+  }
+  // Bounded walk: each iteration either runs the op once or retires a
+  // stream to kDead; with N streams we re-resolve at most N times.
+  for (int hops = 0; hops <= count(); ++hops) {
+    const int idx = resolve(requested);
+    Stream& s = *streams_[static_cast<std::size_t>(idx)];
+    std::shared_ptr<srb::SrbClient> client;
+    std::int32_t fd = -1;
+    {
+      std::lock_guard lk(s.mu);
+      if (s.health.load(std::memory_order_relaxed) == Health::kDead)
+        continue;  // lost a race with another thread's verdict; re-route
+      if (s.health.load(std::memory_order_relaxed) == Health::kDown) {
+        try {
+          repair_locked(s, idx);
+        } catch (...) {
+          ++s.repair_failures;
+          if (s.repair_failures >= kRepairFailuresBeforeDead &&
+              alive_other(idx)) {
+            s.health.store(Health::kDead, std::memory_order_relaxed);
+            REMIO_LOG_WARN("stream ", idx, " of ", path_,
+                           " declared dead after ", s.repair_failures,
+                           " failed repairs; re-striping onto survivors");
+            continue;  // degrade now instead of burning a retry attempt
+          }
+          throw;  // still kDown; the caller's retry loop backs off
+        }
+      }
+      client = s.client;
+      fd = s.fd;
+    }
+    try {
+      return fn(*client, fd);
+    } catch (const remio::StatusError& e) {
+      if (e.retryable() && e.domain() == remio::ErrorDomain::kTransport)
+        note_failure(idx, client);
+      throw;
+    }
+  }
+  // Every hop landed on a stream that was retired under us; let the retry
+  // loop (or the engine) decide whether to come back.
+  throw mpiio::IoError(
+      {remio::ErrorDomain::kTransport, 0, /*retryable=*/true, "route"},
+      "no usable stream after re-striping: " + path_);
+}
+
+template <class Fn>
+auto StreamPool::supervised(Fn&& fn) {
+  if (!cfg_.retry.enabled()) return fn();
+  const double start = simnet::sim_now();
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return fn();
+    } catch (...) {
+      const std::exception_ptr eptr = std::current_exception();
+      const remio::Status st = remio::status_from_exception(eptr);
+      if (!st.retryable() || attempt + 1 >= cfg_.retry.max_attempts)
+        std::rethrow_exception(eptr);
+      const double delay = backoff_.delay(attempt);
+      if (cfg_.retry.op_deadline > 0.0 &&
+          simnet::sim_now() - start + delay > cfg_.retry.op_deadline) {
+        if (stats_ != nullptr) stats_->add_deadline_expiration();
+        throw mpiio::IoError(
+            {remio::ErrorDomain::kDeadline, 0, /*retryable=*/false,
+             "supervise"},
+            "op deadline (" + std::to_string(cfg_.retry.op_deadline) +
+                "s sim) exceeded after " + std::to_string(attempt + 1) +
+                " attempts: " + st.message());
+      }
+      if (stats_ != nullptr) {
+        stats_->add_backoff(delay);
+        stats_->add_replayed_op();
+      }
+      simnet::sleep_sim(delay);
+    }
+  }
+}
+
+std::size_t StreamPool::pread(int stream, MutByteSpan out,
+                              std::uint64_t offset) {
+  return supervised([&] { return pread_once(stream, out, offset); });
+}
+
+std::size_t StreamPool::pwrite(int stream, ByteSpan data,
+                               std::uint64_t offset) {
+  return supervised([&] { return pwrite_once(stream, data, offset); });
 }
 
 std::uint64_t StreamPool::stat_size() {
-  const auto st = streams_.front().client->stat(path_);
-  return st ? st->size : 0;
+  return supervised([&] { return stat_size_once(); });
+}
+
+std::size_t StreamPool::pread_once(int stream, MutByteSpan out,
+                                   std::uint64_t offset) {
+  return once(stream, [&](srb::SrbClient& c, std::int32_t fd) {
+    return c.pread(fd, out, offset);
+  });
+}
+
+std::size_t StreamPool::pwrite_once(int stream, ByteSpan data,
+                                    std::uint64_t offset) {
+  return once(stream, [&](srb::SrbClient& c, std::int32_t fd) {
+    return c.pwrite(fd, data, offset);
+  });
+}
+
+std::uint64_t StreamPool::stat_size_once() {
+  return once(0, [&](srb::SrbClient& c, std::int32_t) {
+    const auto st = c.stat(path_);
+    return st ? st->size : std::uint64_t{0};
+  });
+}
+
+srb::SrbClient& StreamPool::client(int stream) {
+  Stream& s = *streams_[static_cast<std::size_t>(stream)];
+  std::lock_guard lk(s.mu);
+  return *s.client;
 }
 
 std::uint64_t StreamPool::wire_bytes_sent() const {
   std::uint64_t total = 0;
-  for (const auto& s : streams_) total += s.client->bytes_sent();
+  for (const auto& s : streams_) {
+    std::lock_guard lk(s->mu);
+    total += s->retired_sent + s->client->bytes_sent();
+  }
   return total;
 }
 
 std::uint64_t StreamPool::wire_bytes_received() const {
   std::uint64_t total = 0;
-  for (const auto& s : streams_) total += s.client->bytes_received();
+  for (const auto& s : streams_) {
+    std::lock_guard lk(s->mu);
+    total += s->retired_received + s->client->bytes_received();
+  }
   return total;
 }
 
@@ -62,9 +256,11 @@ void StreamPool::close() {
   if (closed_) return;
   closed_ = true;
   for (auto& s : streams_) {
+    std::lock_guard lk(s->mu);
     try {
-      s.client->close(s.fd);
-      s.client->disconnect();
+      if (s->health.load(std::memory_order_relaxed) == Health::kUp)
+        s->client->close(s->fd);
+      s->client->disconnect();
     } catch (const std::exception& e) {
       REMIO_LOG_DEBUG("stream close: ", e.what());
     }

@@ -1,0 +1,17 @@
+#include "core/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace remio::semplar {
+
+double Backoff::delay(int attempt) {
+  const int k = std::min(attempt, 60);  // 2^60 is already astronomically > cap
+  double d = retry_.backoff_base * std::ldexp(1.0, k);
+  d = std::min(d, retry_.backoff_cap);
+  if (retry_.jitter <= 0.0) return d;
+  std::lock_guard lk(mu_);
+  return d * (1.0 - retry_.jitter * rng_.uniform());
+}
+
+}  // namespace remio::semplar

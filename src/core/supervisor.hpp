@@ -1,0 +1,36 @@
+// Shared pieces of the transport supervisor: the backoff schedule used by
+// both retry loops — the blocking one in StreamPool (synchronous verbs) and
+// the non-blocking deferred-replay one in AsyncEngine (asynchronous verbs).
+//
+// Classification itself lives in the error taxonomy (common/error.hpp):
+// every library exception carries ErrorInfo, and
+// remio::status_from_exception(...).retryable() is the single predicate
+// deciding replay vs fail-fast.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "core/config.hpp"
+
+namespace remio::semplar {
+
+/// Capped exponential backoff with multiplicative jitter. Deterministic for
+/// a given seed, thread-safe. delay(k) is the wait before replaying after
+/// the (k+1)-th failure: uniform in (d * (1 - jitter), d] where
+/// d = min(cap, base * 2^k).
+class Backoff {
+ public:
+  Backoff(const Config::Retry& retry, std::uint64_t seed)
+      : retry_(retry), rng_(seed) {}
+
+  double delay(int attempt);
+
+ private:
+  Config::Retry retry_;
+  std::mutex mu_;
+  Rng rng_;
+};
+
+}  // namespace remio::semplar

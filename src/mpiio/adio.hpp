@@ -30,6 +30,18 @@ namespace adio {
 /// copied — the caller must not reuse them until the request completes
 /// (§4.1 lists this as the model's inherent cost; threads sharing the
 /// address space avoid the copy, §4.3).
+///
+/// Error contract (the exception / Status dual, common/error.hpp): the
+/// synchronous verbs report failures by throwing — always a
+/// remio::StatusError subclass (IoError, SrbError, NetError) whose
+/// ErrorInfo classifies the failure (domain, retryable). The asynchronous
+/// verbs never throw for I/O failures at submission; the error belongs to
+/// the returned IoRequest, where the caller picks a side of the dual:
+/// IoRequest::wait() rethrows the classified exception, while
+/// IoRequest::wait_status()/error() return the same classification as a
+/// non-throwing remio::Status. Drivers with transport supervision
+/// (semplar::Config::Retry) resolve retryable failures internally by
+/// reconnect + replay; only terminal failures reach either surface.
 class FileHandle {
  public:
   virtual ~FileHandle() = default;

@@ -10,6 +10,29 @@ std::size_t IoRequest::wait() {
   return state_->bytes;
 }
 
+remio::Status IoRequest::wait_status() {
+  if (state_ == nullptr)
+    return remio::Status::failure(
+        {remio::ErrorDomain::kEngine, 0, /*retryable=*/false, "wait"},
+        "wait on empty request");
+  std::unique_lock lk(state_->mu);
+  state_->cv.wait(lk, [&] { return state_->done; });
+  return remio::status_from_exception(state_->error);
+}
+
+remio::Status IoRequest::error() const {
+  if (state_ == nullptr) return {};
+  std::lock_guard lk(state_->mu);
+  if (!state_->done) return {};
+  return remio::status_from_exception(state_->error);
+}
+
+std::size_t IoRequest::bytes() const {
+  if (state_ == nullptr) return 0;
+  std::lock_guard lk(state_->mu);
+  return state_->bytes;
+}
+
 bool IoRequest::test() const {
   if (state_ == nullptr) return true;
   std::lock_guard lk(state_->mu);

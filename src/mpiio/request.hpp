@@ -1,5 +1,12 @@
 // Nonblocking-I/O completion handle, the library's equivalent of ROMIO's
 // MPIO_Request with MPIO_Wait / MPIO_Test (§4.2).
+//
+// Completion surfaces twice, sharing one taxonomy (common/error.hpp):
+//   * wait() rethrows the I/O thread's exception — the historical,
+//     fail-fast contract;
+//   * wait_status() / error() return a remio::Status instead and never
+//     throw — for callers that classify failures (supervisors, collectives)
+//     rather than unwinding.
 #pragma once
 
 #include <condition_variable>
@@ -8,11 +15,18 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/error.hpp"
+
 namespace remio::mpiio {
 
-class IoError : public std::runtime_error {
+/// Generic I/O failure. The one-argument form keeps the historical
+/// throw-a-string contract (unclassified, non-retryable); layers that know
+/// better pass an ErrorInfo.
+class IoError : public remio::StatusError {
  public:
-  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+  explicit IoError(const std::string& what) : StatusError({}, what) {}
+  IoError(remio::ErrorInfo info, const std::string& what)
+      : StatusError(std::move(info), what) {}
 };
 
 class IoRequest {
@@ -22,6 +36,17 @@ class IoRequest {
   /// Blocks until the operation completes; returns bytes transferred.
   /// Rethrows any error raised on the I/O thread. (MPIO_Wait)
   std::size_t wait();
+
+  /// Blocks like wait() but never throws: ok() on success (bytes via
+  /// bytes()), otherwise the failure's classified Status.
+  remio::Status wait_status();
+
+  /// Non-blocking error peek: ok() while in flight or after success,
+  /// the classified Status once the operation has failed.
+  remio::Status error() const;
+
+  /// Bytes transferred; meaningful after successful completion.
+  std::size_t bytes() const;
 
   /// Non-blocking completion check. (MPIO_Test)
   bool test() const;

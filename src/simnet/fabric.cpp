@@ -1,5 +1,6 @@
 #include "simnet/fabric.hpp"
 
+#include "simnet/faults.hpp"
 #include "simnet/timescale.hpp"
 
 namespace remio::simnet {
@@ -21,13 +22,29 @@ bool Fabric::has_host(const std::string& name) const {
 const HostSpec& Fabric::host(const std::string& name) const {
   std::lock_guard lk(mu_);
   const auto it = hosts_.find(name);
-  if (it == hosts_.end()) throw NetError("unknown host: " + name);
+  if (it == hosts_.end())
+    throw NetError("unknown host: " + name,
+                   {remio::ErrorDomain::kTransport, 0, /*retryable=*/false,
+                    "resolve"});
   return it->second;
+}
+
+void Fabric::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard lk(mu_);
+  fault_ = std::move(injector);
+}
+
+std::shared_ptr<FaultInjector> Fabric::fault_injector() const {
+  std::lock_guard lk(mu_);
+  return fault_;
 }
 
 std::shared_ptr<Acceptor> Fabric::listen(const std::string& host, int port) {
   std::lock_guard lk(mu_);
-  if (hosts_.count(host) == 0) throw NetError("listen on unknown host: " + host);
+  if (hosts_.count(host) == 0)
+    throw NetError("listen on unknown host: " + host,
+                   {remio::ErrorDomain::kTransport, 0, /*retryable=*/false,
+                    "listen"});
   auto acceptor = std::make_shared<Acceptor>();
   acceptors_[{host, port}] = acceptor;
   return acceptor;
@@ -39,19 +56,27 @@ std::unique_ptr<Socket> Fabric::connect(const std::string& from_host,
   HostSpec from;
   HostSpec to;
   std::shared_ptr<Acceptor> acceptor;
+  std::shared_ptr<FaultInjector> fault;
+  const std::string tag = opts.tag.empty() ? from_host + "->" + to_host : opts.tag;
   {
     std::lock_guard lk(mu_);
-    const auto fit = hosts_.find(from_host);
+    const remio::ErrorInfo config_err{remio::ErrorDomain::kTransport, 0,
+                                      /*retryable=*/false, "connect"};
+    if (hosts_.find(from_host) == hosts_.end())
+      throw NetError("connect from unknown host: " + from_host, config_err);
     const auto tit = hosts_.find(to_host);
-    if (fit == hosts_.end()) throw NetError("connect from unknown host: " + from_host);
-    if (tit == hosts_.end()) throw NetError("connect to unknown host: " + to_host);
-    from = fit->second;
+    if (tit == hosts_.end())
+      throw NetError("connect to unknown host: " + to_host, config_err);
+    from = hosts_.find(from_host)->second;
     to = tit->second;
     const auto ait = acceptors_.find({to_host, port});
     if (ait == acceptors_.end())
       throw NetError("connection refused: " + to_host + ":" + std::to_string(port));
     acceptor = ait->second;
+    fault = fault_;
   }
+  if (fault != nullptr && fault->fail_connect(tag))
+    throw NetError("injected connect failure (" + tag + ")");
 
   const double one_way = from.latency_to_core + to.latency_to_core;
   const double rtt = 2.0 * one_way;
@@ -77,6 +102,7 @@ std::unique_ptr<Socket> Fabric::connect(const std::string& from_host,
   sleep_sim(rtt);
 
   auto [client, server] = Socket::make_pair(shaping, from_host, to_host);
+  if (fault != nullptr) client->set_fault(fault, tag);
   if (!acceptor->pending_.push(std::move(server)))
     throw NetError("connection refused (listener closed): " + to_host);
   return std::move(client);
@@ -86,7 +112,9 @@ double Fabric::latency(const std::string& a, const std::string& b) const {
   std::lock_guard lk(mu_);
   const auto ia = hosts_.find(a);
   const auto ib = hosts_.find(b);
-  if (ia == hosts_.end() || ib == hosts_.end()) throw NetError("unknown host");
+  if (ia == hosts_.end() || ib == hosts_.end())
+    throw NetError("unknown host", {remio::ErrorDomain::kTransport, 0,
+                                    /*retryable=*/false, "latency"});
   return ia->second.latency_to_core + ib->second.latency_to_core;
 }
 

@@ -35,6 +35,9 @@ struct ConnectOptions {
   /// Extra shared resources charged on this connection in both directions
   /// (e.g. the per-node I/O bus for the contention experiment).
   std::vector<std::shared_ptr<TokenBucket>> extra;
+  /// Connection tag for targeted fault injection (see simnet/faults.hpp).
+  /// Empty = "<from>-><to>". SrbClient fills in its client name.
+  std::string tag;
 };
 
 class Acceptor {
@@ -71,10 +74,16 @@ class Fabric {
   /// Closes all acceptors (established sockets stay usable).
   void shutdown();
 
+  /// Installs (or clears, with null) a fault-injection plan. Dials consult
+  /// it and client sockets created afterwards carry it on every send.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+  std::shared_ptr<FaultInjector> fault_injector() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, HostSpec> hosts_;
   std::map<std::pair<std::string, int>, std::shared_ptr<Acceptor>> acceptors_;
+  std::shared_ptr<FaultInjector> fault_;
 };
 
 }  // namespace remio::simnet

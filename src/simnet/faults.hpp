@@ -1,0 +1,74 @@
+// Fault-injection plan for the simulated fabric: the knobs the transport
+// supervisor is tested and benchmarked against. An injector is installed on
+// a Fabric (Fabric::set_fault_injector); Fabric::connect consults it when
+// dialing and wires it into the client socket so every send can be faulted.
+//
+// Supported faults:
+//   * probabilistic connection drops — each send may kill the connection;
+//   * one-shot stream kills — the next send on a connection whose tag
+//     matches dies (targets one SEMPLAR stream deterministically);
+//   * connect bans / probabilistic connect failures — models a broker that
+//     is down or restarting (reconnects are refused until unbanned);
+//   * injected latency spikes — a send occasionally stalls for a configured
+//     number of simulated seconds before going out.
+//
+// Tags: SrbClient dials with its client name as the connection tag
+// (e.g. "semplar/node0/s1"), so `arm_kill("s1")` / `ban("s1")` target one
+// stream of one node by substring match.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace remio::simnet {
+
+class FaultInjector {
+ public:
+  // --- configuration (any thread) ------------------------------------------
+  /// Probability that any single send_all() call kills its connection.
+  void set_drop_probability(double p);
+  /// Probability that a dial is refused outright.
+  void set_connect_failure_probability(double p);
+  /// With probability `p`, a send stalls `sim_seconds` before transmitting.
+  void set_latency_spike(double p, double sim_seconds);
+  /// Arms a one-shot kill: the next send on a connection whose tag contains
+  /// `tag_substr` (any connection when empty) dies. One send consumes it.
+  void arm_kill(const std::string& tag_substr = "");
+  /// Refuses every dial whose tag contains `tag_substr` until unban().
+  void ban(const std::string& tag_substr);
+  void unban(const std::string& tag_substr);
+  void seed(std::uint64_t s);
+
+  // --- observability -------------------------------------------------------
+  std::uint64_t drops() const;
+  std::uint64_t refused_connects() const;
+  std::uint64_t latency_spikes() const;
+
+  // --- hooks (called by Fabric / Socket) -----------------------------------
+  /// True when this dial must be refused.
+  bool fail_connect(const std::string& tag);
+  /// True when the connection must die before this send.
+  bool drop_send(const std::string& tag);
+  /// Extra one-way stall for this send, in simulated seconds (usually 0).
+  double latency_penalty();
+
+ private:
+  mutable std::mutex mu_;
+  Rng rng_{0x7a017a01u};
+  double drop_p_ = 0.0;
+  double connect_fail_p_ = 0.0;
+  double spike_p_ = 0.0;
+  double spike_s_ = 0.0;
+  std::optional<std::string> armed_kill_;
+  std::vector<std::string> bans_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t refused_ = 0;
+  std::uint64_t spikes_ = 0;
+};
+
+}  // namespace remio::simnet

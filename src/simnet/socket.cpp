@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "simnet/faults.hpp"
 #include "simnet/timescale.hpp"
 
 namespace remio::simnet {
@@ -77,8 +78,24 @@ std::size_t Pipe::buffered() const {
 
 Socket::~Socket() { close(); }
 
+void Socket::set_fault(std::shared_ptr<FaultInjector> fault, std::string tag) {
+  fault_ = std::move(fault);
+  tag_ = std::move(tag);
+}
+
 void Socket::send_all(ByteSpan data) {
-  if (closed_) throw NetError("send on closed socket");
+  if (closed_.load(std::memory_order_acquire))
+    throw NetError("send on closed socket");
+  if (fault_ != nullptr) {
+    const double spike = fault_->latency_penalty();
+    if (spike > 0) sleep_sim(spike);
+    if (fault_->drop_send(tag_)) {
+      close();
+      throw NetError("injected connection drop (" + tag_ + ")",
+                     {remio::ErrorDomain::kTransport, 0, /*retryable=*/true,
+                      "send"});
+    }
+  }
   std::size_t off = 0;
   while (off < data.size()) {
     const std::size_t n = std::min(quantum_, data.size() - off);
@@ -90,15 +107,16 @@ void Socket::send_all(ByteSpan data) {
                 data.begin() + static_cast<std::ptrdiff_t>(off + n));
     tx_->push(std::move(chunk), sim_now() + latency_);
     off += n;
-    bytes_sent_ += n;
+    bytes_sent_.fetch_add(n, std::memory_order_relaxed);
   }
 }
 
 std::size_t Socket::recv_some(MutByteSpan out) {
-  if (closed_) throw NetError("recv on closed socket");
+  if (closed_.load(std::memory_order_acquire))
+    throw NetError("recv on closed socket");
   if (out.empty()) return 0;
   const std::size_t n = rx_->pop(out);
-  bytes_received_ += n;
+  bytes_received_.fetch_add(n, std::memory_order_relaxed);
   return n;
 }
 
@@ -117,8 +135,7 @@ void Socket::shutdown_send() {
 }
 
 void Socket::close() {
-  if (closed_) return;
-  closed_ = true;
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
   if (tx_) tx_->close_tx();
   if (rx_) rx_->close_rx();
 }

@@ -6,6 +6,7 @@
 // (node bus, NIC, uplink / NAT, server NIC).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -13,13 +14,22 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/error.hpp"
 #include "simnet/token_bucket.hpp"
 
 namespace remio::simnet {
 
-class NetError : public std::runtime_error {
+class FaultInjector;
+
+/// Connection-level failure. Defaults to retryable (drops, resets, refused
+/// dials are transient as far as a supervisor is concerned); configuration
+/// errors such as an unknown host pass an explicit non-retryable info.
+class NetError : public remio::StatusError {
  public:
-  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+  explicit NetError(const std::string& what,
+                    remio::ErrorInfo info = {remio::ErrorDomain::kTransport, 0,
+                                             /*retryable=*/true, {}})
+      : StatusError(std::move(info), what) {}
 };
 
 namespace detail {
@@ -99,8 +109,18 @@ class Socket {
   void shutdown_send();
   void close();
 
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
-  std::uint64_t bytes_received() const { return bytes_received_; }
+  /// Wires a fault-injection plan into this end of the connection (set by
+  /// Fabric::connect on client sockets when an injector is installed). The
+  /// `tag` identifies the connection for targeted kills/bans.
+  void set_fault(std::shared_ptr<FaultInjector> fault, std::string tag);
+  const std::string& fault_tag() const { return tag_; }
+
+  std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
   const std::string& peer() const { return peer_; }
 
   /// Creates a connected pair (client, server). Applies no connect latency
@@ -118,10 +138,15 @@ class Socket {
   std::vector<std::shared_ptr<TokenBucket>> path_;
   double latency_ = 0.0;
   std::size_t quantum_ = 512 * 1024;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t bytes_received_ = 0;
+  // Counters and the closed flag are atomic: close() may race a peer-side
+  // thread parked in recv_some/send_all (e.g. SrbServer::stop force-closing
+  // a session socket), and the byte accessors are read cross-thread.
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
   std::string peer_;
-  bool closed_ = false;
+  std::shared_ptr<FaultInjector> fault_;
+  std::string tag_;
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace remio::simnet

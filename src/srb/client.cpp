@@ -4,11 +4,24 @@
 
 namespace remio::srb {
 
+namespace {
+
+/// The client name doubles as the connection's fault-injection tag so one
+/// SEMPLAR stream can be killed or banned by name (simnet/faults.hpp).
+simnet::ConnectOptions with_tag(simnet::ConnectOptions opts,
+                                const std::string& client_name) {
+  if (opts.tag.empty()) opts.tag = client_name;
+  return opts;
+}
+
+}  // namespace
+
 SrbClient::SrbClient(simnet::Fabric& fabric, const std::string& from_host,
                      const std::string& server_host, int port,
                      const simnet::ConnectOptions& opts,
                      const std::string& client_name)
-    : sock_(fabric.connect(from_host, server_host, port, opts)) {
+    : sock_(fabric.connect(from_host, server_host, port,
+                           with_tag(opts, client_name))) {
   connected_ = true;
   Bytes payload;
   ByteWriter w(payload);
@@ -29,15 +42,31 @@ SrbClient::~SrbClient() {
 
 Status SrbClient::rpc(Op op, const Bytes& payload, Bytes& response) {
   std::lock_guard lk(mu_);
-  if (!connected_) throw SrbError(Status::kIoError, "client disconnected");
+  if (!connected_)
+    throw SrbError(Status::kIoError,
+                   {remio::ErrorDomain::kTransport,
+                    static_cast<std::int32_t>(Status::kIoError),
+                    /*retryable=*/false, "rpc"},
+                   "client disconnected");
   send_frame(*sock_, static_cast<std::uint8_t>(op),
              ByteSpan(payload.data(), payload.size()));
   Bytes frame;
   if (!recv_frame(*sock_, frame))
-    throw SrbError(Status::kIoError, "server closed connection");
+    // Mid-stream EOF: the broker died or restarted. Transient — a
+    // supervisor can reconnect and replay the op.
+    throw SrbError(Status::kIoError,
+                   {remio::ErrorDomain::kTransport,
+                    static_cast<std::int32_t>(Status::kIoError),
+                    /*retryable=*/true, "rpc"},
+                   "server closed connection");
   ByteReader r(ByteSpan(frame.data(), frame.size()));
   const auto status = static_cast<Status>(r.i32());
-  if (!r.ok()) throw SrbError(Status::kProtocol, "malformed response");
+  if (!r.ok())
+    throw SrbError(Status::kProtocol,
+                   {remio::ErrorDomain::kProtocol,
+                    static_cast<std::int32_t>(Status::kProtocol),
+                    /*retryable=*/false, "rpc"},
+                   "malformed response");
   const ByteSpan rest = r.rest();
   response.assign(rest.begin(), rest.end());
   return status;

@@ -14,15 +14,28 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "simnet/fabric.hpp"
 #include "srb/protocol.hpp"
 
 namespace remio::srb {
 
-class SrbError : public std::runtime_error {
+/// SRB failure carrying both the wire-level srb::Status and the shared
+/// remio::ErrorInfo taxonomy (domain / retryable — see common/error.hpp).
+/// The two-argument constructor classifies broker responses: the broker
+/// answered, so the failure is semantic and not retryable. Transport-level
+/// throw sites pass an explicit ErrorInfo instead.
+class SrbError : public remio::StatusError {
  public:
   SrbError(Status status, const std::string& what)
-      : std::runtime_error(what), status_(status) {}
+      : StatusError({remio::ErrorDomain::kBroker,
+                     static_cast<std::int32_t>(status),
+                     /*retryable=*/false,
+                     {}},
+                    what),
+        status_(status) {}
+  SrbError(Status status, remio::ErrorInfo info, const std::string& what)
+      : StatusError(std::move(info), what), status_(status) {}
   Status status() const { return status_; }
 
  private:
