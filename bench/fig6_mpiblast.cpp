@@ -8,9 +8,12 @@
 //
 // Usage: fig6_mpiblast [--clusters=das2,osc,tg] [--procs=2,4,7,10,13]
 //                      [--queries=96] [--scale=400] [--csv]
+//                      [--trace=out.json] [--report=out.txt]
 #include <cstdio>
+#include <vector>
 
 #include "common/stats.hpp"
+#include "obs/trace_export.hpp"
 #include "simnet/timescale.hpp"
 #include "testbed/harness.hpp"
 #include "testbed/workloads.hpp"
@@ -43,11 +46,14 @@ int main(int argc, char** argv) {
 
   std::printf("Figure 6: MPI-BLAST execution time (simulated seconds)\n");
 
+  std::vector<obs::Span> last_trace;  // most recent async run, for --trace
+
   for (const auto& cluster : clusters) {
     Table table({"procs", "sync", "async", "max-speedup-expected",
-                 "async-gain-%", "achieved-%-of-max"});
+                 "async-gain-%", "achieved-%-of-max", "span-achieved-%"});
     OnlineStats gain;
     OnlineStats achieved;
+    OnlineStats span_achieved;
 
     for (const int p : procs) {
       RunResult sync_r;
@@ -72,17 +78,31 @@ int main(int argc, char** argv) {
       const double expected = sync_r.expected_overlap + serial;
       const double gain_pct = pct_gain(async_r.exec, sync_r.exec);
       const double achieved_pct = expected / async_r.exec * 100.0;
+      const double span_pct = async_r.span_overlap_achieved * 100.0;
       gain.add(gain_pct);
       achieved.add(achieved_pct);
+      if (span_pct > 0.0) span_achieved.add(span_pct);
+      if (!async_r.spans.empty()) last_trace = std::move(async_r.spans);
       table.add_row({std::to_string(p), Table::num(sync_r.exec, 1),
                      Table::num(async_r.exec, 1), Table::num(expected, 1),
-                     Table::num(gain_pct, 1), Table::num(achieved_pct, 1)});
+                     Table::num(gain_pct, 1), Table::num(achieved_pct, 1),
+                     Table::num(span_pct, 1)});
     }
     emit(opts, "Fig 6 (" + cluster.name + ")", table);
     std::printf("summary[%s]: sync is %.0f%% slower than async on average "
                 "(paper: das2 +20%%, osc +26%%, tg +22%%); achieved %.0f%% of max "
                 "speedup (paper: 92-97%%)\n",
                 cluster.name.c_str(), gain.mean(), achieved.mean());
+    if (span_achieved.count() > 0)
+      std::printf("span trace[%s]: achieved %.1f%% of maximum overlap "
+                  "(span-derived, min %.1f%%, max %.1f%%; paper: 92-97%%)\n",
+                  cluster.name.c_str(), span_achieved.mean(),
+                  span_achieved.min(), span_achieved.max());
   }
+
+  if (opts.has("trace") && !last_trace.empty())
+    obs::dump_chrome_trace(opts.get("trace"), last_trace);
+  if (opts.has("report") && !last_trace.empty())
+    obs::dump_text_report(opts.get("report"), last_trace);
   return 0;
 }

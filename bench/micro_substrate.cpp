@@ -1,14 +1,21 @@
 // google-benchmark microbenchmarks for the substrates on which every
 // experiment stands: the MPMC I/O queue (Fig. 2), token-bucket accounting,
-// the wire-protocol framing, the aligner's seed stage, and minimpi p2p.
+// the wire-protocol framing, the aligner's seed stage, minimpi p2p, and the
+// observability layer's hot-path costs (span record, histogram, traced vs.
+// untraced cache read — the tracer must stay under a few percent here).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <thread>
 
 #include "bio/kmer_index.hpp"
 #include "bio/synth.hpp"
+#include "cache/block_cache.hpp"
 #include "common/queue.hpp"
 #include "minimpi/runtime.hpp"
+#include "obs/histogram.hpp"
+#include "obs/tracer.hpp"
+#include "simnet/timescale.hpp"
 #include "simnet/token_bucket.hpp"
 #include "srb/protocol.hpp"
 
@@ -105,6 +112,98 @@ void BM_MinimpiPingPong(benchmark::State& state) {
                           static_cast<std::int64_t>(bytes));
 }
 BENCHMARK(BM_MinimpiPingPong)->Arg(1 << 10)->Arg(64 << 10);
+
+// --- observability layer -----------------------------------------------------
+
+void BM_ObsSpanRecord(benchmark::State& state) {
+  obs::Tracer tracer(8192);
+  for (auto _ : state) {
+    obs::Span s;
+    s.op_id = tracer.next_op_id();
+    s.kind = obs::SpanKind::kTask;
+    s.bytes = 64 * 1024;
+    s.enqueue = 1.0;
+    s.dequeue = 1.5;
+    s.wire_start = 2.0;
+    s.wire_end = 3.0;
+    tracer.record(s);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsSpanRecord);
+
+void BM_ObsRecordInstant(benchmark::State& state) {
+  obs::Tracer tracer(8192);
+  for (auto _ : state)
+    tracer.record_instant(obs::SpanKind::kCacheHit, 1.0, 4096);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsRecordInstant);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Histogram h;
+  double v = 1e-6;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 1.0 ? v * 1.0001 : 1e-6;  // sweep buckets, stay off one cacheline
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+/// In-memory backend: the traced-vs-untraced pair below measures pure cache
+/// bookkeeping + tracer cost, with no fabric in the way.
+class MemBackend final : public cache::CacheBackend {
+ public:
+  explicit MemBackend(std::size_t n) : data_(n, 'd') {}
+  std::size_t cache_pread(std::uint64_t offset, MutByteSpan out) override {
+    if (offset >= data_.size()) return 0;
+    const std::size_t n = std::min(out.size(), data_.size() - offset);
+    std::memcpy(out.data(), data_.data() + offset, n);
+    return n;
+  }
+  std::size_t cache_pwrite(std::uint64_t offset, ByteSpan data) override {
+    if (offset + data.size() > data_.size()) data_.resize(offset + data.size());
+    std::memcpy(data_.data() + offset, data.data(), data.size());
+    return data.size();
+  }
+  std::uint64_t cache_stat_size() override { return data_.size(); }
+  bool cache_run_async(std::function<void()>) override { return false; }
+
+ private:
+  Bytes data_;
+};
+
+/// The hot remote-read path (cache hit) with the tracer attached or not:
+/// the ISSUE budget allows < 3% overhead for the traced variant.
+void cache_hit_read_loop(benchmark::State& state, bool traced) {
+  MemBackend backend(4u << 20);
+  cache::CacheOptions opts;
+  opts.capacity_bytes = 8u << 20;
+  opts.block_bytes = 256u << 10;
+  obs::Tracer tracer(8192);
+  cache::BlockCache cache(backend, opts, nullptr, traced ? &tracer : nullptr);
+  Bytes buf(4096);
+  std::uint64_t off = 0;
+  // Warm every block so the loop measures hits only.
+  for (std::uint64_t o = 0; o < (4u << 20); o += opts.block_bytes)
+    cache.read(o, MutByteSpan(buf.data(), buf.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.read(off, MutByteSpan(buf.data(), buf.size())));
+    off = (off + 4096) & ((4u << 20) - 1);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+
+void BM_CacheReadHitUntraced(benchmark::State& state) {
+  cache_hit_read_loop(state, false);
+}
+BENCHMARK(BM_CacheReadHitUntraced);
+
+void BM_CacheReadHitTraced(benchmark::State& state) {
+  cache_hit_read_loop(state, true);
+}
+BENCHMARK(BM_CacheReadHitTraced);
 
 }  // namespace
 

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "simnet/timescale.hpp"
+
 namespace remio::cache {
 
 BlockCache::BlockCache(CacheBackend& backend, const CacheOptions& opts,
-                       CacheCounters* counters)
+                       CacheCounters* counters, obs::Tracer* tracer)
     : backend_(backend),
       opts_(opts),
       counters_(counters),
+      tracer_(tracer),
       writeback_(opts.writeback_hwm, counters),
       prefetcher_(opts.readahead_blocks) {
   if (opts_.block_bytes == 0)
@@ -137,12 +140,26 @@ std::size_t BlockCache::read(std::uint64_t offset, MutByteSpan out) {
     b.prefetched = false;
     const bool missed = in_blk + len > b.valid;
     if (missed) {
+      const double t0 = tracer_ != nullptr ? simnet::sim_now() : 0.0;
       try {
         fill_block(lk, b, in_blk + len);
       } catch (...) {
         unpin(b);
         throw;
       }
+      if (tracer_ != nullptr) {
+        obs::Span s;
+        s.op_id = tracer_->next_op_id();
+        s.kind = obs::SpanKind::kCacheFill;
+        s.bytes = len;
+        s.enqueue = s.dequeue = s.wire_start = t0;
+        s.wire_end = simnet::sim_now();
+        tracer_->record(s);
+      }
+    } else if (tracer_ != nullptr) {
+      // Hits are the hot path (every cached application read lands here):
+      // counted always, materialized as ring spans only 1-in-64.
+      tracer_->note_instant(obs::SpanKind::kCacheHit, len);
     }
     if (counters_ != nullptr) {
       CacheCounters::bump(missed ? counters_->misses : counters_->hits);
@@ -202,6 +219,9 @@ std::size_t BlockCache::write(std::uint64_t offset, ByteSpan data) {
   local_extent_ =
       std::max(local_extent_, offset + static_cast<std::uint64_t>(data.size()));
   known_size_ = std::max(known_size_, local_extent_);
+  if (tracer_ != nullptr)
+    tracer_->gauge(obs::GaugeId::kDirtyBytes)
+        .set(static_cast<std::int64_t>(writeback_.dirty_bytes()));
 
   if (writeback_.write_through()) {
     // Cache updated for future reads; the write itself goes straight out.
@@ -257,6 +277,7 @@ std::size_t BlockCache::flush_planned(
   }
 
   lk.unlock();
+  const double flush_t0 = tracer_ != nullptr ? simnet::sim_now() : 0.0;
   std::size_t total = 0;
   std::size_t completed = 0;
   std::exception_ptr err;
@@ -270,6 +291,17 @@ std::size_t BlockCache::flush_planned(
     }
   }
   lk.lock();
+  if (tracer_ != nullptr) {
+    obs::Span s;
+    s.op_id = tracer_->next_op_id();
+    s.kind = obs::SpanKind::kFlush;
+    s.bytes = total;
+    s.enqueue = s.dequeue = s.wire_start = flush_t0;
+    s.wire_end = simnet::sim_now();
+    tracer_->record(s);
+    tracer_->gauge(obs::GaugeId::kDirtyBytes)
+        .set(static_cast<std::int64_t>(writeback_.dirty_bytes()));
+  }
 
   if (counters_ != nullptr && completed > 0)
     CacheCounters::bump(counters_->writeback_flushes, completed);
@@ -381,6 +413,7 @@ void BlockCache::prefetch_fill(std::uint64_t index) {
 
   std::size_t n = 0;
   if (fetch_end > from) {
+    const double t0 = tracer_ != nullptr ? simnet::sim_now() : 0.0;
     lk.unlock();
     try {
       n = backend_.cache_pread(base + from,
@@ -389,6 +422,15 @@ void BlockCache::prefetch_fill(std::uint64_t index) {
       n = 0;  // speculative fetch: swallow, a demand access will retry
     }
     lk.lock();
+    if (tracer_ != nullptr) {
+      obs::Span s;
+      s.op_id = tracer_->next_op_id();
+      s.kind = obs::SpanKind::kPrefetch;
+      s.bytes = n;
+      s.enqueue = s.dequeue = s.wire_start = t0;
+      s.wire_end = simnet::sim_now();
+      tracer_->record(s);
+    }
   }
   b.valid = std::max(b.valid, from + n);
   b.filling = false;

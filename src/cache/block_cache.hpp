@@ -30,6 +30,7 @@
 #include "cache/prefetcher.hpp"
 #include "cache/writeback.hpp"
 #include "common/bytes.hpp"
+#include "obs/tracer.hpp"
 
 namespace remio::cache {
 
@@ -58,9 +59,10 @@ class BlockCache {
  public:
   /// `counters` may be null (bench/unit use); `backend` must outlive the
   /// cache, and all async fills must have completed before destruction
-  /// (SEMPLAR shuts its engine down first).
+  /// (SEMPLAR shuts its engine down first). `tracer` (optional) records
+  /// per-access hit/fill/prefetch/flush spans and the dirty-bytes gauge.
   BlockCache(CacheBackend& backend, const CacheOptions& opts,
-             CacheCounters* counters);
+             CacheCounters* counters, obs::Tracer* tracer = nullptr);
 
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
@@ -136,6 +138,7 @@ class BlockCache {
   CacheBackend& backend_;
   const CacheOptions opts_;
   CacheCounters* counters_;
+  obs::Tracer* tracer_;
 
   mutable std::mutex mu_;
   std::mutex flush_mu_;  // serializes whole flushes; taken with mu_ released

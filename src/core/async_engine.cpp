@@ -9,10 +9,12 @@
 namespace remio::semplar {
 
 AsyncEngine::AsyncEngine(int threads, std::size_t queue_capacity, bool lazy_spawn,
-                         Stats* stats, const Config::Retry& retry)
+                         Stats* stats, const Config::Retry& retry,
+                         obs::Tracer* tracer)
     : threads_requested_(threads),
       lazy_(lazy_spawn),
       stats_(stats),
+      tracer_(tracer),
       retry_(retry),
       backoff_(retry, 0xa57eu),
       queue_(queue_capacity) {
@@ -35,12 +37,23 @@ void AsyncEngine::ensure_spawned() {
 void AsyncEngine::worker_loop() {
   while (auto item = queue_.pop()) {
     const double t0 = simnet::sim_now();
+    if (tracer_ != nullptr) {
+      tracer_->gauge(obs::GaugeId::kQueueDepth).add(-1);
+      // First pickup only: a replayed task keeps its original dequeue so
+      // the span's queue_wait measures the first FIFO residency.
+      if (item->span.dequeue == 0.0) item->span.dequeue = t0;
+    }
     std::size_t n = 0;
     std::exception_ptr err;
-    try {
-      n = item->task();
-    } catch (...) {
-      err = std::current_exception();
+    {
+      // Expose the task span to deeper layers (StreamPool stamps
+      // wire_start on the first transfer this task performs).
+      obs::ScopedOpSpan op(tracer_ != nullptr ? &item->span : nullptr);
+      try {
+        n = item->task();
+      } catch (...) {
+        err = std::current_exception();
+      }
     }
     if (stats_ != nullptr) stats_->add_busy(simnet::sim_now() - t0);
     if (err == nullptr)
@@ -51,12 +64,24 @@ void AsyncEngine::worker_loop() {
 }
 
 void AsyncEngine::finish(Item item, std::size_t n) {
+  if (tracer_ != nullptr) {
+    item.span.bytes = n;
+    item.span.wire_end = simnet::sim_now();
+    tracer_->record(item.span);
+  }
   mpiio::IoRequest::complete(item.state, n);
   if (item.done) item.done(n, nullptr);
   task_done();
 }
 
 void AsyncEngine::fail_item(Item item, std::exception_ptr err) {
+  if (tracer_ != nullptr) {
+    // Record the failed task too — the no-orphans invariant (every
+    // submitted op has a span after drain) holds on the failure path.
+    item.span.bytes = 0;
+    item.span.wire_end = simnet::sim_now();
+    tracer_->record(item.span);
+  }
   mpiio::IoRequest::fail(item.state, err);
   if (item.done) item.done(0, err);
   task_done();
@@ -91,7 +116,18 @@ void AsyncEngine::handle_failure(Item item, std::exception_ptr err) {
     stats_->add_backoff(delay);
     stats_->add_replayed_op();
   }
-  defer(std::move(item), simnet::sim_now() + delay);
+  const double now = simnet::sim_now();
+  if (tracer_ != nullptr) {
+    // The parked interval [now, now + delay): visible in the trace as a
+    // backoff lane under the same op id as the task being replayed.
+    obs::Span park;
+    park.op_id = item.span.op_id;
+    park.kind = obs::SpanKind::kBackoff;
+    park.enqueue = park.dequeue = park.wire_start = now;
+    park.wire_end = now + delay;
+    tracer_->record(park);
+  }
+  defer(std::move(item), now + delay);
 }
 
 void AsyncEngine::defer(Item item, double due) {
@@ -106,6 +142,7 @@ void AsyncEngine::defer(Item item, double due) {
     timer_spawned_ = true;
     timer_ = std::thread([this] { timer_loop(); });
   }
+  if (tracer_ != nullptr) tracer_->gauge(obs::GaugeId::kDeferredBacklog).add(1);
   deferred_.push(Deferred{due, std::move(item)});
   defer_cv_.notify_all();
 }
@@ -118,6 +155,8 @@ void AsyncEngine::timer_loop() {
       while (!deferred_.empty()) {
         Item item = std::move(const_cast<Deferred&>(deferred_.top()).item);
         deferred_.pop();
+        if (tracer_ != nullptr)
+          tracer_->gauge(obs::GaugeId::kDeferredBacklog).add(-1);
         lk.unlock();
         fail_item(std::move(item),
                   std::make_exception_ptr(mpiio::IoError("engine shut down")));
@@ -136,6 +175,10 @@ void AsyncEngine::timer_loop() {
     }
     Item item = std::move(const_cast<Deferred&>(deferred_.top()).item);
     deferred_.pop();
+    if (tracer_ != nullptr) {
+      tracer_->gauge(obs::GaugeId::kDeferredBacklog).add(-1);
+      tracer_->gauge(obs::GaugeId::kQueueDepth).add(1);
+    }
     // Keep handles to the completion in case the queue closed under us
     // (push would consume the item either way).
     auto state = item.state;
@@ -144,6 +187,7 @@ void AsyncEngine::timer_loop() {
     // Back onto the FIFO: the replay runs in arrival order with whatever
     // else is queued, on any free I/O thread.
     if (!queue_.push(std::move(item))) {
+      if (tracer_ != nullptr) tracer_->gauge(obs::GaugeId::kQueueDepth).add(-1);
       auto err = std::make_exception_ptr(mpiio::IoError("engine shut down"));
       mpiio::IoRequest::fail(state, err);
       if (done) done(0, err);
@@ -167,11 +211,18 @@ mpiio::IoRequest AsyncEngine::enqueue(Item item) {
     stats_->add_task();
     stats_->note_queue_depth(queue_.size() + 1);
   }
+  if (tracer_ != nullptr) {
+    item.span.op_id = tracer_->next_op_id();
+    item.span.kind = obs::SpanKind::kTask;
+    item.span.enqueue = simnet::sim_now();
+    tracer_->gauge(obs::GaugeId::kQueueDepth).add(1);
+  }
   {
     std::lock_guard lk(pending_mu_);
     ++pending_;
   }
   if (!queue_.push(std::move(item))) {
+    if (tracer_ != nullptr) tracer_->gauge(obs::GaugeId::kQueueDepth).add(-1);
     task_done();
     mpiio::IoRequest::fail(req.state(),
                            std::make_exception_ptr(mpiio::IoError("engine shut down")));
@@ -206,10 +257,16 @@ bool AsyncEngine::try_submit(Task task) {
   Item item;
   item.task = std::move(task);
   item.state = req.state();
+  if (tracer_ != nullptr) {
+    item.span.op_id = tracer_->next_op_id();
+    item.span.kind = obs::SpanKind::kTask;
+    item.span.enqueue = simnet::sim_now();
+  }
   if (!queue_.try_push(std::move(item))) {
     task_done();
     return false;
   }
+  if (tracer_ != nullptr) tracer_->gauge(obs::GaugeId::kQueueDepth).add(1);
   if (stats_ != nullptr) {
     stats_->add_task();
     stats_->note_queue_depth(queue_.size());

@@ -27,6 +27,7 @@
 #include "core/stats.hpp"
 #include "core/supervisor.hpp"
 #include "mpiio/request.hpp"
+#include "obs/tracer.hpp"
 
 namespace remio::semplar {
 
@@ -41,9 +42,13 @@ class AsyncEngine {
 
   /// threads >= 1. If lazy_spawn, threads must be 1 and the thread starts
   /// on the first submit(). `retry` (default: disabled) enables the
-  /// deferred-replay supervisor for submit_supervised() tasks.
+  /// deferred-replay supervisor for submit_supervised() tasks. `tracer`
+  /// (optional) records a kTask span per task — queue residency through
+  /// final completion across replays — plus queue-depth / deferred-backlog
+  /// gauges and a kBackoff span per parked replay.
   AsyncEngine(int threads, std::size_t queue_capacity, bool lazy_spawn,
-              Stats* stats = nullptr, const Config::Retry& retry = {});
+              Stats* stats = nullptr, const Config::Retry& retry = {},
+              obs::Tracer* tracer = nullptr);
   ~AsyncEngine();
 
   AsyncEngine(const AsyncEngine&) = delete;
@@ -84,6 +89,7 @@ class AsyncEngine {
     bool supervised = false;
     int attempt = 0;            // completed attempts so far
     double start_sim = 0.0;     // first-submission sim time (op_deadline)
+    obs::Span span;             // kTask lifecycle; recorded at final outcome
   };
   struct Deferred {
     double due;  // sim time at which the replay may run
@@ -108,6 +114,7 @@ class AsyncEngine {
   const int threads_requested_;
   const bool lazy_;
   Stats* stats_;
+  obs::Tracer* tracer_;
   const Config::Retry retry_;
   Backoff backoff_;
   BoundedQueue<Item> queue_;

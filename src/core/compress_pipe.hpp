@@ -52,6 +52,7 @@ class CompressPipe {
   struct Item {
     Bytes block;
     std::shared_ptr<mpiio::IoRequest::State> state;
+    double pushed = 0.0;  // sim time the block entered the pipeline
   };
 
   void loop();

@@ -86,6 +86,21 @@ struct Config {
   };
   Retry retry;
 
+  /// Observability (src/obs): per-op span tracing, latency histograms and
+  /// queue/wire gauges. Default ON — the rings are drop-oldest so overhead
+  /// and memory stay bounded regardless of run length.
+  struct Obs {
+    /// Master switch. Off = no Tracer is created; every instrumentation
+    /// site degrades to a null-pointer check.
+    bool enabled = true;
+    /// Spans retained per (thread, file) ring before drop-oldest kicks in.
+    std::size_t ring_capacity = 8192;
+    /// Periodic plain-text report cadence in simulated seconds, written to
+    /// stderr. 0 = no periodic reporter (snapshots still work).
+    double report_interval = 0.0;
+  };
+  Obs obs;
+
   /// Effective I/O thread count (resolving the lazy-0 convention).
   int effective_io_threads() const { return io_threads <= 0 ? 1 : io_threads; }
   bool lazy_spawn() const { return io_threads <= 0; }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iostream>
+
+#include "simnet/timescale.hpp"
 
 namespace remio::semplar {
 
@@ -18,13 +21,15 @@ SemplarFile::SemplarFile(simnet::Fabric& fabric, const Config& cfg,
   if (mode & mpiio::kModeCreate) srb_flags |= srb::kCreate;
   if (mode & mpiio::kModeTrunc) srb_flags |= srb::kTrunc;
 
-  streams_ =
-      std::make_unique<StreamPool>(fabric, cfg_, path, srb_flags, &stats_);
+  if (cfg_.obs.enabled)
+    tracer_ = std::make_unique<obs::Tracer>(cfg_.obs.ring_capacity);
+  streams_ = std::make_unique<StreamPool>(fabric, cfg_, path, srb_flags,
+                                          &stats_, tracer_.get());
   // §4.3: by default one I/O thread spawned lazily on the first async call;
   // pre-spawned pool when io_threads >= 1 is requested explicitly.
   engine_ = std::make_unique<AsyncEngine>(cfg_.effective_io_threads(),
                                           cfg_.queue_capacity, cfg_.lazy_spawn(),
-                                          &stats_, cfg_.retry);
+                                          &stats_, cfg_.retry, tracer_.get());
   if (cfg_.cache_bytes > 0) {
     static std::atomic<std::uint64_t> handle_seq{0};
     writer_tag_ = cfg_.client_host + "#" + std::to_string(++handle_seq);
@@ -34,9 +39,14 @@ SemplarFile::SemplarFile(simnet::Fabric& fabric, const Config& cfg,
     opts.readahead_blocks = cfg_.readahead_blocks;
     opts.writeback_hwm = cfg_.writeback_hwm;
     cache_ = std::make_unique<cache::BlockCache>(
-        *static_cast<cache::CacheBackend*>(this), opts, &stats_.cache());
+        *static_cast<cache::CacheBackend*>(this), opts, &stats_.cache(),
+        tracer_.get());
     // Coherence baseline: whoever flushed last before this open.
     last_gen_ = srb::read_generation(streams_->client(0), streams_->path());
+  }
+  if (tracer_ != nullptr && cfg_.obs.report_interval > 0.0) {
+    reporter_ = std::make_unique<obs::TextReporter>(*tracer_, std::clog);
+    reporter_->start(cfg_.obs.report_interval);
   }
 }
 
@@ -51,6 +61,7 @@ SemplarFile::~SemplarFile() {
       // that care about durability call flush() and see the exception there.
     }
   }
+  reporter_.reset();  // final report covers the drained engine + last flush
   streams_->close();
 }
 
@@ -99,16 +110,36 @@ void SemplarFile::publish_generation() {
 
 std::size_t SemplarFile::read_at(std::uint64_t offset, MutByteSpan out) {
   stats_.add_sync();
+  const double t0 = tracer_ != nullptr ? simnet::sim_now() : 0.0;
   const std::size_t n = cache_ != nullptr ? cache_->read(offset, out)
                                           : streams_->pread(0, out, offset);
+  if (tracer_ != nullptr) {
+    obs::Span s;
+    s.op_id = tracer_->next_op_id();
+    s.kind = obs::SpanKind::kSyncRead;
+    s.bytes = n;
+    s.enqueue = s.dequeue = s.wire_start = t0;
+    s.wire_end = simnet::sim_now();
+    tracer_->record(s);
+  }
   stats_.add_read(n);
   return n;
 }
 
 std::size_t SemplarFile::write_at(std::uint64_t offset, ByteSpan data) {
   stats_.add_sync();
+  const double t0 = tracer_ != nullptr ? simnet::sim_now() : 0.0;
   const std::size_t n = cache_ != nullptr ? cache_->write(offset, data)
                                           : streams_->pwrite(0, data, offset);
+  if (tracer_ != nullptr) {
+    obs::Span s;
+    s.op_id = tracer_->next_op_id();
+    s.kind = obs::SpanKind::kSyncWrite;
+    s.bytes = n;
+    s.enqueue = s.dequeue = s.wire_start = t0;
+    s.wire_end = simnet::sim_now();
+    tracer_->record(s);
+  }
   stats_.add_write(n);
   return n;
 }
@@ -140,6 +171,8 @@ struct StripeJoin {
   std::atomic<std::size_t> bytes{0};
   std::mutex error_mu;
   std::exception_ptr first_error;
+  obs::Tracer* tracer = nullptr;
+  obs::Span span;  // request-level kIread/kIwrite: issue -> last stripe
 
   void finish_one() {
     if (remaining.fetch_sub(1) != 1) return;
@@ -147,6 +180,11 @@ struct StripeJoin {
     {
       std::lock_guard lk(error_mu);
       err = first_error;
+    }
+    if (tracer != nullptr) {
+      span.bytes = bytes.load();
+      span.wire_end = simnet::sim_now();
+      tracer->record(span);
     }
     if (err)
       mpiio::IoRequest::fail(master, err);
@@ -188,6 +226,13 @@ mpiio::IoRequest SemplarFile::submit_striped(std::uint64_t offset, Span data) {
   auto join = std::make_shared<StripeJoin>();
   join->master = master.state();
   join->remaining.store(active);
+  if (tracer_ != nullptr) {
+    join->tracer = tracer_.get();
+    join->span.op_id = tracer_->next_op_id();
+    join->span.kind =
+        IsWrite ? obs::SpanKind::kIwrite : obs::SpanKind::kIread;
+    join->span.enqueue = simnet::sim_now();
+  }
 
   for (int s = 0; s < active; ++s) {
     // The task throws on failure so the engine can classify and replay it
@@ -235,8 +280,20 @@ mpiio::IoRequest SemplarFile::iread_at(std::uint64_t offset, MutByteSpan out) {
     // One engine task; hits complete without touching the wire, misses do
     // one striped-equivalent fetch inside the cache. The request still
     // overlaps with compute exactly like the uncached async path.
-    return engine_->submit([this, offset, out] {
+    const double issued = tracer_ != nullptr ? simnet::sim_now() : 0.0;
+    return engine_->submit([this, offset, out, issued] {
+      const double t0 = tracer_ != nullptr ? simnet::sim_now() : 0.0;
       const std::size_t n = cache_->read(offset, out);
+      if (tracer_ != nullptr) {
+        obs::Span s;
+        s.op_id = tracer_->next_op_id();
+        s.kind = obs::SpanKind::kIread;
+        s.bytes = n;
+        s.enqueue = issued;
+        s.dequeue = s.wire_start = t0;
+        s.wire_end = simnet::sim_now();
+        tracer_->record(s);
+      }
       stats_.add_read(n);
       return n;
     });
@@ -310,8 +367,20 @@ mpiio::IoRequest SemplarFile::iread_redundant(std::uint64_t offset, MutByteSpan 
 
 mpiio::IoRequest SemplarFile::iwrite_at(std::uint64_t offset, ByteSpan data) {
   if (cache_ != nullptr) {
-    return engine_->submit([this, offset, data] {
+    const double issued = tracer_ != nullptr ? simnet::sim_now() : 0.0;
+    return engine_->submit([this, offset, data, issued] {
+      const double t0 = tracer_ != nullptr ? simnet::sim_now() : 0.0;
       const std::size_t n = cache_->write(offset, data);
+      if (tracer_ != nullptr) {
+        obs::Span s;
+        s.op_id = tracer_->next_op_id();
+        s.kind = obs::SpanKind::kIwrite;
+        s.bytes = n;
+        s.enqueue = issued;
+        s.dequeue = s.wire_start = t0;
+        s.wire_end = simnet::sim_now();
+        tracer_->record(s);
+      }
       stats_.add_write(n);
       return n;
     });

@@ -20,6 +20,8 @@
 #include "core/config.hpp"
 #include "core/stream_pool.hpp"
 #include "mpiio/adio.hpp"
+#include "obs/reporter.hpp"
+#include "obs/tracer.hpp"
 #include "srb/generation.hpp"
 
 namespace remio::semplar {
@@ -56,6 +58,10 @@ class SemplarFile final : public mpiio::adio::FileHandle,
   bool cached() const { return cache_ != nullptr; }
   cache::BlockCache* cache() { return cache_.get(); }
 
+  /// The file's span tracer; null when Config::Obs is disabled. Snapshot it
+  /// (obs::Tracer::snapshot) for per-rank overlap analysis or trace export.
+  obs::Tracer* tracer() override { return tracer_.get(); }
+
  private:
   // --- CacheBackend: what the block cache calls back into ------------------
   // Wire transfers round-robin across the file's streams so concurrent
@@ -82,9 +88,13 @@ class SemplarFile final : public mpiio::adio::FileHandle,
 
   Config cfg_;
   Stats stats_;
+  // Declared before the layers that record into it: members are destroyed
+  // in reverse order, so the tracer outlives pool/engine/cache/reporter.
+  std::unique_ptr<obs::Tracer> tracer_;  // null when cfg_.obs.enabled == false
   std::unique_ptr<StreamPool> streams_;
   std::unique_ptr<AsyncEngine> engine_;
   std::unique_ptr<cache::BlockCache> cache_;  // null when cfg_.cache_bytes == 0
+  std::unique_ptr<obs::TextReporter> reporter_;  // periodic text reports
   std::atomic<unsigned> rr_{0};               // backend stream round-robin
   std::string writer_tag_;                    // this handle's generation tag
   srb::Generation last_gen_;                  // last generation we observed

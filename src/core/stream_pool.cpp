@@ -11,12 +11,13 @@ namespace remio::semplar {
 
 StreamPool::StreamPool(simnet::Fabric& fabric, const Config& cfg,
                        const std::string& path, std::uint32_t srb_flags,
-                       Stats* stats)
+                       Stats* stats, obs::Tracer* tracer)
     : fabric_(fabric),
       cfg_(cfg),
       path_(path),
       reopen_flags_(srb_flags & ~(srb::kCreate | srb::kTrunc)),
       stats_(stats),
+      tracer_(tracer),
       backoff_(cfg.retry, 0x5eedu ^ static_cast<std::uint64_t>(path.size())) {
   validate(cfg);
   streams_.reserve(static_cast<std::size_t>(cfg.streams_per_node));
@@ -114,7 +115,7 @@ auto StreamPool::once(int requested, Fn&& fn) {
     // Fail-fast (paper) mode: exactly one attempt on the requested stream,
     // no health tracking, no re-routing.
     Stream& s = *streams_[static_cast<std::size_t>(requested)];
-    return fn(*s.client, s.fd);
+    return fn(*s.client, s.fd, requested);
   }
   // Bounded walk: each iteration either runs the op once or retires a
   // stream to kDead; with N streams we re-resolve at most N times.
@@ -147,7 +148,7 @@ auto StreamPool::once(int requested, Fn&& fn) {
       fd = s.fd;
     }
     try {
-      return fn(*client, fd);
+      return fn(*client, fd, idx);
     } catch (const remio::StatusError& e) {
       if (e.retryable() && e.domain() == remio::ErrorDomain::kTransport)
         note_failure(idx, client);
@@ -207,22 +208,73 @@ std::uint64_t StreamPool::stat_size() {
   return supervised([&] { return stat_size_once(); });
 }
 
+namespace {
+
+/// RAII wire-occupancy trace around one transfer attempt: records a kWire
+/// span on the resolved stream (bytes = 0 when the attempt threw) and
+/// stamps wire_start onto the enclosing engine task's span, if any.
+class WireTrace {
+ public:
+  WireTrace(obs::Tracer* tracer, int idx)
+      : tracer_(tracer),
+        idx_(idx),
+        t0_(tracer != nullptr ? simnet::sim_now() : 0.0) {
+    if (tracer_ != nullptr)
+      tracer_->gauge(obs::GaugeId::kWireInflight).add(1);
+  }
+
+  ~WireTrace() {
+    if (tracer_ == nullptr) return;
+    tracer_->gauge(obs::GaugeId::kWireInflight).add(-1);
+    obs::Span s;
+    if (obs::Span* op = obs::current_op_span()) {
+      s.op_id = op->op_id;  // tie the wire lane to the engine task
+      if (op->wire_start == 0.0) op->wire_start = t0_;
+    } else {
+      s.op_id = tracer_->next_op_id();  // sync path: no enclosing task
+    }
+    s.kind = obs::SpanKind::kWire;
+    s.stream = static_cast<std::int16_t>(idx_);
+    s.bytes = bytes_;
+    s.enqueue = s.dequeue = s.wire_start = t0_;
+    s.wire_end = simnet::sim_now();
+    tracer_->record(s);
+  }
+
+  void set_bytes(std::uint64_t n) { bytes_ = n; }
+
+ private:
+  obs::Tracer* tracer_;
+  int idx_;
+  double t0_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace
+
 std::size_t StreamPool::pread_once(int stream, MutByteSpan out,
                                    std::uint64_t offset) {
-  return once(stream, [&](srb::SrbClient& c, std::int32_t fd) {
-    return c.pread(fd, out, offset);
+  return once(stream, [&](srb::SrbClient& c, std::int32_t fd, int idx) {
+    WireTrace wt(tracer_, idx);
+    const std::size_t n = c.pread(fd, out, offset);
+    wt.set_bytes(n);
+    return n;
   });
 }
 
 std::size_t StreamPool::pwrite_once(int stream, ByteSpan data,
                                     std::uint64_t offset) {
-  return once(stream, [&](srb::SrbClient& c, std::int32_t fd) {
-    return c.pwrite(fd, data, offset);
+  return once(stream, [&](srb::SrbClient& c, std::int32_t fd, int idx) {
+    WireTrace wt(tracer_, idx);
+    const std::size_t n = c.pwrite(fd, data, offset);
+    wt.set_bytes(n);
+    return n;
   });
 }
 
 std::uint64_t StreamPool::stat_size_once() {
-  return once(0, [&](srb::SrbClient& c, std::int32_t) {
+  return once(0, [&](srb::SrbClient& c, std::int32_t, int idx) {
+    WireTrace wt(tracer_, idx);
     const auto st = c.stat(path_);
     return st ? st->size : std::uint64_t{0};
   });

@@ -32,6 +32,7 @@
 #include "core/config.hpp"
 #include "core/stats.hpp"
 #include "core/supervisor.hpp"
+#include "obs/tracer.hpp"
 #include "srb/client.hpp"
 
 namespace remio::semplar {
@@ -41,8 +42,11 @@ class StreamPool {
   /// Opens `streams_per_node` connections and descriptors on `path`.
   /// The first stream performs any create/truncate; the rest open plain.
   /// `stats` (optional) receives the transport-supervision counters.
+  /// `tracer` (optional) gets one kWire span per transfer attempt — the
+  /// wire occupancy of the stream the op actually ran on (§7.2).
   StreamPool(simnet::Fabric& fabric, const Config& cfg, const std::string& path,
-             std::uint32_t srb_flags, Stats* stats = nullptr);
+             std::uint32_t srb_flags, Stats* stats = nullptr,
+             obs::Tracer* tracer = nullptr);
   ~StreamPool();
 
   StreamPool(const StreamPool&) = delete;
@@ -110,6 +114,7 @@ class StreamPool {
   std::string path_;
   std::uint32_t reopen_flags_ = 0;  // original flags minus create/trunc
   Stats* stats_;
+  obs::Tracer* tracer_;
   Backoff backoff_;
   std::vector<std::unique_ptr<Stream>> streams_;
   bool closed_ = false;

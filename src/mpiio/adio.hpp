@@ -11,6 +11,10 @@
 #include "common/bytes.hpp"
 #include "mpiio/request.hpp"
 
+namespace remio::obs {
+class Tracer;  // src/obs — forward-declared so this layer takes no link dep
+}
+
 namespace remio::mpiio {
 
 /// Open-mode flags, MPI_File_open-like.
@@ -60,6 +64,11 @@ class FileHandle {
   virtual IoRequest iwrite_at(std::uint64_t, ByteSpan) {
     throw IoError("driver has no native async write");
   }
+
+  /// The driver's span tracer, when it has one (SEMPLAR with Config::Obs
+  /// enabled). Pipeline stages layered above a handle (core/compress_pipe)
+  /// record their spans here so one trace shows the whole path.
+  virtual obs::Tracer* tracer() { return nullptr; }
 };
 
 class Driver {

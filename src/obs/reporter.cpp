@@ -1,0 +1,100 @@
+#include "obs/reporter.hpp"
+
+#include <array>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/trace_export.hpp"
+#include "simnet/timescale.hpp"
+
+namespace remio::obs {
+
+namespace {
+
+const char* gauge_name(GaugeId id) {
+  switch (id) {
+    case GaugeId::kQueueDepth: return "queue-depth";
+    case GaugeId::kDeferredBacklog: return "deferred-backlog";
+    case GaugeId::kWireInflight: return "wire-inflight";
+    case GaugeId::kDirtyBytes: return "dirty-bytes";
+    case GaugeId::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace
+
+TextReporter::TextReporter(Tracer& tracer, std::ostream& os)
+    : tracer_(tracer), os_(os) {}
+
+TextReporter::~TextReporter() { stop(); }
+
+void TextReporter::start(double sim_interval) {
+  if (sim_interval <= 0.0) return;
+  std::lock_guard lk(mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this, sim_interval] { loop(sim_interval); });
+}
+
+void TextReporter::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard lk(mu_);
+    running_ = false;
+  }
+  report_now();  // final flush so short runs still get one report
+}
+
+void TextReporter::report_now() {
+  write_text_report(os_, tracer_.snapshot());
+  std::array<char, 128> line{};
+  for (int g = 0; g < static_cast<int>(GaugeId::kCount); ++g) {
+    const auto id = static_cast<GaugeId>(g);
+    const Gauge& gauge = tracer_.gauge(id);
+    std::snprintf(line.data(), line.size(), "gauge %-17s now %lld  max %lld\n",
+                  gauge_name(id), static_cast<long long>(gauge.value()),
+                  static_cast<long long>(gauge.max()));
+    os_ << line.data();
+  }
+  for (int k = 0; k < static_cast<int>(SpanKind::kCount); ++k) {
+    const auto kind = static_cast<SpanKind>(k);
+    const std::uint64_t n = tracer_.noted(kind);
+    if (n == 0) continue;
+    std::snprintf(line.data(), line.size(),
+                  "noted %-11s events %llu  bytes %llu  (1/%llu ring-sampled)\n",
+                  kind_name(kind), static_cast<unsigned long long>(n),
+                  static_cast<unsigned long long>(tracer_.noted_bytes(kind)),
+                  static_cast<unsigned long long>(Tracer::kNoteSampleEvery));
+    os_ << line.data();
+  }
+  std::snprintf(line.data(), line.size(),
+                "spans recorded %llu  dropped (ring overflow) %llu\n",
+                static_cast<unsigned long long>(tracer_.recorded()),
+                static_cast<unsigned long long>(tracer_.dropped()));
+  os_ << line.data() << std::flush;
+}
+
+void TextReporter::loop(double sim_interval) {
+  double next = simnet::sim_now() + sim_interval;
+  while (true) {
+    std::unique_lock lk(mu_);
+    // wall_deadline maps the simulated deadline through the current time
+    // scale, so the cadence tracks ScopedTimeScale changes mid-run.
+    if (cv_.wait_until(lk, simnet::wall_deadline(next),
+                       [this] { return stop_requested_; }))
+      return;
+    lk.unlock();
+    report_now();
+    next += sim_interval;
+  }
+}
+
+}  // namespace remio::obs

@@ -1,0 +1,47 @@
+// Periodic plain-text reporter: a background thread that snapshots a live
+// Tracer every `interval` simulated seconds and appends a report (per-kind
+// latency summary + overlap/utilization lines + gauge watermarks) to a
+// stream. Intervals follow the simulated clock, so a time-compressed run
+// reports at the paper's cadence, not the wall's.
+#pragma once
+
+#include <condition_variable>
+#include <iosfwd>
+#include <mutex>
+#include <thread>
+
+#include "obs/tracer.hpp"
+
+namespace remio::obs {
+
+class TextReporter {
+ public:
+  /// Does not start reporting; call start(). `os` must outlive stop().
+  TextReporter(Tracer& tracer, std::ostream& os);
+  ~TextReporter();
+  TextReporter(const TextReporter&) = delete;
+  TextReporter& operator=(const TextReporter&) = delete;
+
+  /// Starts the background thread; one report every `sim_interval` > 0
+  /// simulated seconds. No-op if already running.
+  void start(double sim_interval);
+
+  /// Stops the thread, emitting one final report. Idempotent.
+  void stop();
+
+  /// Writes one report (snapshot + gauges) immediately, on the caller.
+  void report_now();
+
+ private:
+  void loop(double sim_interval);
+
+  Tracer& tracer_;
+  std::ostream& os_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace remio::obs

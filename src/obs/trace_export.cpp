@@ -1,0 +1,351 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/analyzer.hpp"
+
+namespace remio::obs {
+
+namespace {
+
+// %.17g preserves every double bit-exactly through decimal, so a trace
+// round-trips into the analyzer without perturbing interval arithmetic.
+std::string fmt_double(double v) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.17g", v);
+  return buf.data();
+}
+
+SpanKind kind_from_name(const std::string& name) {
+  for (int k = 0; k < static_cast<int>(SpanKind::kCount); ++k)
+    if (name == kind_name(static_cast<SpanKind>(k)))
+      return static_cast<SpanKind>(k);
+  return SpanKind::kTask;
+}
+
+// --- minimal JSON reader (handles exactly the grammar we emit) ----------
+
+struct JValue {
+  enum Type { kNull, kBool, kNum, kStr, kArr, kObj };
+  Type type = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::shared_ptr<std::vector<JValue>> arr;
+  std::shared_ptr<std::map<std::string, JValue>> obj;
+
+  const JValue* find(const std::string& key) const {
+    if (type != kObj) return nullptr;
+    auto it = obj->find(key);
+    return it == obj->end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::istream& is) {
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    text_ = ss.str();
+  }
+
+  JValue parse() {
+    JValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("trace json: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JValue v;
+      v.type = JValue::kStr;
+      v.str = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      literal("null");
+      return JValue{};
+    }
+    return number();
+  }
+
+  void literal(const char* lit) {
+    skip_ws();
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_)
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
+  }
+
+  JValue boolean() {
+    JValue v;
+    v.type = JValue::kBool;
+    if (peek() == 't') {
+      literal("true");
+      v.b = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  JValue number() {
+    skip_ws();
+    std::size_t end = 0;
+    JValue v;
+    v.type = JValue::kNum;
+    try {
+      v.num = std::stod(text_.substr(pos_), &end);
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    pos_ += end;
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: fail("unsupported escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JValue array() {
+    expect('[');
+    JValue v;
+    v.type = JValue::kArr;
+    v.arr = std::make_shared<std::vector<JValue>>();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arr->push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  JValue object() {
+    expect('{');
+    JValue v;
+    v.type = JValue::kObj;
+    v.obj = std::make_shared<std::map<std::string, JValue>>();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      std::string key = (peek(), string());
+      expect(':');
+      (*v.obj)[std::move(key)] = value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+double num_or(const JValue* v, double fallback) {
+  return v != nullptr && v->type == JValue::kNum ? v->num : fallback;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<Span>& spans) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) os << ",\n";
+    first = false;
+    // Wire spans get a synthetic per-stream track so per-stream occupancy
+    // renders as separate lanes; everything else keeps its real thread.
+    const std::uint64_t tid = s.kind == SpanKind::kWire
+                                  ? 1000u + static_cast<std::uint32_t>(
+                                                s.stream < 0 ? 999 : s.stream)
+                                  : s.tid;
+    os << "{\"name\":\"" << kind_name(s.kind) << "\",\"cat\":\"obs\""
+       << ",\"ph\":\"X\",\"ts\":" << fmt_double(s.enqueue * 1e6)
+       << ",\"dur\":" << fmt_double((s.wire_end - s.enqueue) * 1e6)
+       << ",\"pid\":" << s.rank << ",\"tid\":" << tid << ",\"args\":{"
+       << "\"op\":" << s.op_id << ",\"kind\":\"" << kind_name(s.kind)
+       << "\",\"stream\":" << s.stream << ",\"rank\":" << s.rank
+       << ",\"tid\":" << s.tid << ",\"bytes\":" << s.bytes
+       << ",\"enq\":" << fmt_double(s.enqueue)
+       << ",\"deq\":" << fmt_double(s.dequeue)
+       << ",\"ws\":" << fmt_double(s.wire_start)
+       << ",\"we\":" << fmt_double(s.wire_end) << "}}";
+  }
+  os << "]}\n";
+}
+
+std::vector<Span> read_chrome_trace(std::istream& is) {
+  JsonParser parser(is);
+  const JValue root = parser.parse();
+  const JValue* events = root.find("traceEvents");
+  if (events == nullptr || events->type != JValue::kArr)
+    throw std::runtime_error("trace json: missing traceEvents array");
+  std::vector<Span> out;
+  out.reserve(events->arr->size());
+  for (const JValue& ev : *events->arr) {
+    const JValue* args = ev.find("args");
+    if (args == nullptr) continue;  // not one of ours
+    const JValue* enq = args->find("enq");
+    if (enq == nullptr) continue;
+    Span s;
+    const JValue* kind = args->find("kind");
+    if (kind != nullptr && kind->type == JValue::kStr)
+      s.kind = kind_from_name(kind->str);
+    s.op_id = static_cast<std::uint64_t>(num_or(args->find("op"), 0.0));
+    s.stream = static_cast<std::int16_t>(num_or(args->find("stream"), -1.0));
+    s.rank = static_cast<std::uint16_t>(num_or(ev.find("pid"), 0.0));
+    s.tid = static_cast<std::uint32_t>(num_or(args->find("tid"), 0.0));
+    s.bytes = static_cast<std::uint64_t>(num_or(args->find("bytes"), 0.0));
+    s.enqueue = num_or(enq, 0.0);
+    s.dequeue = num_or(args->find("deq"), s.enqueue);
+    s.wire_start = num_or(args->find("ws"), s.dequeue);
+    s.wire_end = num_or(args->find("we"), s.wire_start);
+    out.push_back(s);
+  }
+  return out;
+}
+
+void write_text_report(std::ostream& os, const std::vector<Span>& spans) {
+  struct KindAgg {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+    double total_lat = 0.0;
+    double max_lat = 0.0;
+    std::vector<double> lats;
+  };
+  std::map<SpanKind, KindAgg> per_kind;
+  for (const Span& s : spans) {
+    KindAgg& a = per_kind[s.kind];
+    ++a.count;
+    a.bytes += s.bytes;
+    const double lat = s.latency();
+    a.total_lat += lat;
+    a.max_lat = std::max(a.max_lat, lat);
+    a.lats.push_back(lat);
+  }
+
+  const OverlapReport r = ObsAnalyzer(spans).analyze();
+  std::array<char, 256> line{};
+  os << "== obs report ==\n";
+  std::snprintf(line.data(), line.size(),
+                "spans: %zu  window: [%.6f, %.6f] sim-s  exec: %.6f sim-s\n",
+                spans.size(), r.t0, r.t1, r.exec);
+  os << line.data();
+  os << "kind         count        bytes     mean_lat      p99_lat      "
+        "max_lat\n";
+  for (auto& [kind, a] : per_kind) {
+    std::sort(a.lats.begin(), a.lats.end());
+    const std::size_t p99_idx =
+        a.lats.empty()
+            ? 0
+            : std::min(a.lats.size() - 1,
+                       static_cast<std::size_t>(
+                           static_cast<double>(a.lats.size()) * 0.99));
+    std::snprintf(line.data(), line.size(),
+                  "%-10s %7llu %12llu %12.6f %12.6f %12.6f\n", kind_name(kind),
+                  static_cast<unsigned long long>(a.count),
+                  static_cast<unsigned long long>(a.bytes),
+                  a.count == 0 ? 0.0 : a.total_lat / static_cast<double>(a.count),
+                  a.lats.empty() ? 0.0 : a.lats[p99_idx], a.max_lat);
+    os << line.data();
+  }
+  std::snprintf(line.data(), line.size(),
+                "overlap: compute %.6f  io %.6f  overlapped %.6f  neither "
+                "%.6f (sim-s)\n",
+                r.compute_busy, r.io_busy, r.overlapped, r.neither);
+  os << line.data();
+  std::snprintf(line.data(), line.size(),
+                "achieved %.1f%% of maximum overlap (expected best %.6f / "
+                "exec %.6f); overlap fraction %.1f%%\n",
+                r.achieved_of_max * 100.0, r.expected_best, r.exec,
+                r.overlap_fraction * 100.0);
+  os << line.data();
+  for (const StreamUtilization& u : r.streams) {
+    std::snprintf(line.data(), line.size(),
+                  "stream %d: busy %.6f sim-s  util %.1f%%  bytes %llu  "
+                  "transfers %llu\n",
+                  u.stream, u.busy, u.utilization * 100.0,
+                  static_cast<unsigned long long>(u.bytes),
+                  static_cast<unsigned long long>(u.transfers));
+    os << line.data();
+  }
+}
+
+void dump_chrome_trace(const std::string& path,
+                       const std::vector<Span>& spans) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  write_chrome_trace(f, spans);
+}
+
+void dump_text_report(const std::string& path,
+                      const std::vector<Span>& spans) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open report file: " + path);
+  write_text_report(f, spans);
+}
+
+}  // namespace remio::obs

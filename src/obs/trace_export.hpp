@@ -1,0 +1,36 @@
+// Span exporters / importer.
+//
+// write_chrome_trace emits the Chrome trace_event JSON object format
+// ({"traceEvents": [...]}): one complete ("ph":"X") event per span with
+// ts/dur in microseconds of simulated time, pid = MPI rank, tid = the
+// recording thread (wire spans get a synthetic per-stream track so
+// chrome://tracing / Perfetto shows per-stream occupancy lanes). The exact
+// sim-second timestamps ride along in args so a trace round-trips through
+// read_chrome_trace into the analyzer with no precision loss.
+//
+// write_text_report is the plain-text side: per-kind latency summary plus
+// the analyzer's overlap/utilization lines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace remio::obs {
+
+void write_chrome_trace(std::ostream& os, const std::vector<Span>& spans);
+
+/// Parses a trace produced by write_chrome_trace (or any trace_event JSON
+/// whose events carry our args). Throws std::runtime_error on malformed
+/// input; silently skips events without the obs args payload.
+std::vector<Span> read_chrome_trace(std::istream& is);
+
+void write_text_report(std::ostream& os, const std::vector<Span>& spans);
+
+/// Convenience: write_chrome_trace / write_text_report to a file path.
+void dump_chrome_trace(const std::string& path, const std::vector<Span>& spans);
+void dump_text_report(const std::string& path, const std::vector<Span>& spans);
+
+}  // namespace remio::obs

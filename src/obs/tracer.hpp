@@ -1,0 +1,233 @@
+// Lock-light span tracer. Each recording thread owns a private ring buffer
+// (drop-oldest, bounded, so tracing overhead and memory are capped no
+// matter how long a run is); the only cross-thread synchronization on the
+// hot path is the ring's own mutex, which is uncontended because exactly
+// one thread writes each ring — snapshots (exporters / the periodic
+// reporter) take it briefly to copy.
+//
+// One Tracer instance per open SEMPLAR file (mirroring Stats), so per-rank
+// overlap analysis falls out naturally. Tracer ids are process-unique and
+// never reused, which makes the thread-local ring cache safe: a cached
+// entry is only dereferenced when its id matches the tracer being asked to
+// record, and a live id implies the owning Tracer (which holds the ring by
+// shared_ptr) is alive.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
+
+namespace remio::obs {
+
+/// Fixed-capacity drop-oldest span buffer, one writer thread.
+class SpanRing {
+ public:
+  explicit SpanRing(std::size_t capacity) : cap_(capacity) {
+    buf_.reserve(capacity);
+  }
+
+  void push(const Span& s) {
+    std::lock_guard lk(mu_);
+    if (buf_.size() < cap_) {
+      buf_.push_back(s);
+    } else {
+      buf_[head_] = s;  // overwrite the oldest surviving span
+      head_ = (head_ + 1) % cap_;
+      ++dropped_;
+    }
+  }
+
+  /// Oldest-first copy of the live spans.
+  std::vector<Span> snapshot() const {
+    std::lock_guard lk(mu_);
+    std::vector<Span> out;
+    out.reserve(buf_.size());
+    for (std::size_t i = 0; i < buf_.size(); ++i)
+      out.push_back(buf_[(head_ + i) % buf_.size()]);
+    return out;
+  }
+
+  std::uint64_t dropped() const {
+    std::lock_guard lk(mu_);
+    return dropped_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return buf_.size();
+  }
+
+  /// Owner-thread-only event counter bump: exactly one thread writes each
+  /// ring, so plain relaxed load/store (no RMW lock prefix) is enough, and
+  /// readers aggregate with relaxed loads. Returns the pre-increment count
+  /// so the caller can make a sampling decision.
+  std::uint64_t note(SpanKind kind, std::uint64_t bytes) {
+    auto& c = note_count_[static_cast<std::size_t>(kind)];
+    auto& b = note_bytes_[static_cast<std::size_t>(kind)];
+    const std::uint64_t seq = c.load(std::memory_order_relaxed);
+    c.store(seq + 1, std::memory_order_relaxed);
+    b.store(b.load(std::memory_order_relaxed) + bytes,
+            std::memory_order_relaxed);
+    return seq;
+  }
+  std::uint64_t noted(SpanKind kind) const {
+    return note_count_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t noted_bytes(SpanKind kind) const {
+    return note_bytes_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> buf_;
+  std::size_t cap_;
+  std::size_t head_ = 0;  // index of the oldest span once the ring is full
+  std::uint64_t dropped_ = 0;
+  std::array<std::atomic<std::uint64_t>,
+             static_cast<std::size_t>(SpanKind::kCount)>
+      note_count_{};
+  std::array<std::atomic<std::uint64_t>,
+             static_cast<std::size_t>(SpanKind::kCount)>
+      note_bytes_{};
+};
+
+/// Instantaneous value + high-water mark, updated with relaxed atomics.
+class Gauge {
+ public:
+  void add(std::int64_t delta) {
+    const std::int64_t now =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    std::int64_t peak = max_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !max_.compare_exchange_weak(peak, now, std::memory_order_relaxed))
+      ;
+  }
+  /// Absolute update, for gauges mirroring an externally-tracked quantity
+  /// (dirty bytes). Caller serializes (e.g. under the owner's lock).
+  void set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t peak = max_.load(std::memory_order_relaxed);
+    while (v > peak &&
+           !max_.compare_exchange_weak(peak, v, std::memory_order_relaxed))
+      ;
+  }
+
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+enum class GaugeId : std::uint8_t {
+  kQueueDepth = 0,   // AsyncEngine FIFO occupancy
+  kDeferredBacklog,  // supervised replays parked in the timer heap
+  kWireInflight,     // transfers currently occupying some TCP stream
+  kDirtyBytes,       // write-behind buffered bytes awaiting flush
+  kCount
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t ring_capacity);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Monotone per-tracer op id (1-based; 0 means "unassigned").
+  std::uint64_t next_op_id() {
+    return next_op_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Records a finished span into the calling thread's ring and feeds the
+  /// per-kind latency histogram and the queue-wait histogram. Timestamps
+  /// are normalized so the lifecycle invariant always holds on readback.
+  void record(Span s);
+
+  /// Convenience: an instantaneous event (all four timestamps equal).
+  void record_instant(SpanKind kind, double t, std::uint64_t bytes = 0,
+                      std::int16_t stream = -1);
+
+  /// Ultra-hot-path events (cache hits fire per application read, with a
+  /// nanoseconds budget): every call is counted on the calling thread's
+  /// ring (single-writer, no RMW), but only one in kNoteSampleEvery is
+  /// materialized as a ring span — the clock read and ring push are what
+  /// cost, not the count. Sampling is per thread.
+  static constexpr std::uint64_t kNoteSampleEvery = 64;
+  void note_instant(SpanKind kind, std::uint64_t bytes = 0,
+                    std::int16_t stream = -1);
+
+  /// Total note_instant events / bytes per kind, summed across threads.
+  std::uint64_t noted(SpanKind kind) const;
+  std::uint64_t noted_bytes(SpanKind kind) const;
+
+  Gauge& gauge(GaugeId id) { return gauges_[static_cast<std::size_t>(id)]; }
+  const Gauge& gauge(GaugeId id) const {
+    return gauges_[static_cast<std::size_t>(id)];
+  }
+
+  const Histogram& latency(SpanKind kind) const {
+    return latency_[static_cast<std::size_t>(kind)];
+  }
+  const Histogram& queue_wait() const { return queue_wait_; }
+
+  /// Merged oldest-first snapshot across every thread's ring, sorted by
+  /// (enqueue, op_id). Safe to call while producers keep recording.
+  std::vector<Span> snapshot() const;
+
+  /// Total spans evicted by drop-oldest across all rings.
+  std::uint64_t dropped() const;
+
+  /// Total spans recorded (including since-dropped ones).
+  std::uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t ring_capacity() const { return ring_capacity_; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  SpanRing& ring_for_this_thread();
+
+  const std::uint64_t id_;
+  const std::size_t ring_capacity_;
+  std::atomic<std::uint64_t> next_op_{0};
+  std::atomic<std::uint64_t> recorded_{0};
+
+  mutable std::mutex reg_mu_;
+  std::vector<std::shared_ptr<SpanRing>> rings_;
+
+  std::array<Histogram, static_cast<std::size_t>(SpanKind::kCount)> latency_{};
+  Histogram queue_wait_;
+  std::array<Gauge, static_cast<std::size_t>(GaugeId::kCount)> gauges_{};
+};
+
+/// The engine-task span currently executing on this thread, if any. Lets
+/// deeper layers (StreamPool) stamp wire_start/wire_end onto the span the
+/// AsyncEngine will eventually record, without plumbing it through every
+/// call signature.
+Span* current_op_span();
+
+/// RAII installer for current_op_span(); nests (saves and restores).
+class ScopedOpSpan {
+ public:
+  explicit ScopedOpSpan(Span* s);
+  ~ScopedOpSpan();
+  ScopedOpSpan(const ScopedOpSpan&) = delete;
+  ScopedOpSpan& operator=(const ScopedOpSpan&) = delete;
+
+ private:
+  Span* prev_;
+};
+
+}  // namespace remio::obs

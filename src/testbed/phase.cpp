@@ -15,6 +15,15 @@ void PhaseTimer::enter(Phase p) {
     case Phase::kIo: io_ += t - phase_start_; break;
     case Phase::kNone: break;
   }
+  if (tracer_ != nullptr && current_ != Phase::kNone && t > phase_start_) {
+    obs::Span s;
+    s.op_id = tracer_->next_op_id();
+    s.kind = current_ == Phase::kCompute ? obs::SpanKind::kCompute
+                                         : obs::SpanKind::kIoWait;
+    s.enqueue = s.dequeue = s.wire_start = phase_start_;
+    s.wire_end = t;
+    tracer_->record(s);
+  }
   current_ = p;
   phase_start_ = t;
 }

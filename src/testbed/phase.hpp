@@ -6,6 +6,8 @@
 
 #include <string>
 
+#include "obs/tracer.hpp"
+
 namespace remio::testbed {
 
 enum class Phase { kNone, kCompute, kIo };
@@ -31,12 +33,18 @@ class PhaseTimer {
   /// Merges another rank's timer (phase sums add; used for averages).
   void merge(const PhaseTimer& other);
 
+  /// Mirrors every phase transition into `tracer` as kCompute / kIoWait
+  /// spans, so the obs analyzer can compute the achieved-overlap fraction
+  /// from the same trace that holds the wire spans. Null detaches.
+  void bind(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   double now() const;
   Phase current_ = Phase::kNone;
   double phase_start_ = 0.0;
   double compute_ = 0.0;
   double io_ = 0.0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace remio::testbed

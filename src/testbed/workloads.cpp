@@ -8,6 +8,8 @@
 
 #include "bio/synth.hpp"
 #include "core/semplar.hpp"
+#include "obs/analyzer.hpp"
+#include "obs/tracer.hpp"
 #include "simnet/timescale.hpp"
 #include "testbed/phase.hpp"
 
@@ -19,16 +21,26 @@ constexpr int kTagHaloUp = 101;
 constexpr int kTagBlastRequest = 200;
 constexpr int kTagBlastWork = 201;
 
-/// Gathers per-rank phase timers and the job's wall (sim) time.
+/// Gathers per-rank phase timers, traces, and the job's wall (sim) time.
 struct JobClock {
   std::mutex mu;
   std::vector<PhaseTimer> timers;
+  std::vector<std::vector<obs::Span>> rank_traces;  // rank-tagged snapshots
   double t_start = 0.0;
   double t_end = 0.0;
 
   void record(const PhaseTimer& t) {
     std::lock_guard lk(mu);
     timers.push_back(t);
+  }
+
+  /// Stashes one rank's tracer snapshot, tagged with the rank. The overlap
+  /// analysis runs in result(), once the job's timed window is known.
+  void record_trace(int rank, std::vector<obs::Span> s) {
+    if (s.empty()) return;
+    for (auto& sp : s) sp.rank = static_cast<std::uint16_t>(rank);
+    std::lock_guard lk(mu);
+    rank_traces.push_back(std::move(s));
   }
 
   RunResult result() const {
@@ -45,9 +57,34 @@ struct JobClock {
       r.io_phase /= n;
       r.expected_overlap /= n;
     }
+    if (!rank_traces.empty()) {
+      // Per-rank analysis (the paper's §7.1 numbers are per-process), over
+      // the job's barrier-to-barrier window so serial setup/teardown counts
+      // against the achieved fraction — like dividing by wall time.
+      for (const auto& trace : rank_traces) {
+        const obs::OverlapReport rep =
+            t_end > t_start ? obs::ObsAnalyzer(trace).analyze(t_start, t_end)
+                            : obs::ObsAnalyzer(trace).analyze();
+        r.span_overlap_achieved += rep.achieved_of_max;
+        r.span_compute_busy += rep.compute_busy;
+        r.span_io_busy += rep.io_busy;
+        r.spans.insert(r.spans.end(), trace.begin(), trace.end());
+      }
+      const auto n = static_cast<double>(rank_traces.size());
+      r.span_overlap_achieved /= n;
+      r.span_compute_busy /= n;
+      r.span_io_busy /= n;
+    }
     return r;
   }
 };
+
+/// The file's tracer snapshot, or empty when obs is off. Must run before
+/// File::close(), which destroys the handle (and with it the tracer).
+std::vector<obs::Span> snapshot_spans(mpiio::File& file) {
+  if (obs::Tracer* t = file.handle().tracer()) return t->snapshot();
+  return {};
+}
 
 void halo_exchange(mpi::Comm& comm, ByteSpan halo) {
   const int r = comm.rank();
@@ -116,6 +153,7 @@ RunResult run_laplace(Testbed& tb, int procs, const LaplaceParams& p) {
     if (r == 0) clock.t_start = simnet::sim_now();
 
     PhaseTimer timer;
+    if (p.collect_spans) timer.bind(file.handle().tracer());
     mpiio::IoRequest pending;
     for (int c = 0; c < p.checkpoints; ++c) {
       timer.enter(Phase::kCompute);
@@ -144,8 +182,10 @@ RunResult run_laplace(Testbed& tb, int procs, const LaplaceParams& p) {
 
     timer.enter(Phase::kIo);
     if (pending.valid()) pending.wait();
+    file.flush();  // push write-behind out now so its spans land in the trace
+    timer.stop();  // flush the final I/O-wait span while the tracer lives
+    if (p.collect_spans) clock.record_trace(r, snapshot_spans(file));
     file.close();
-    timer.stop();
 
     comm.barrier();
     if (r == 0) clock.t_end = simnet::sim_now();
@@ -206,6 +246,7 @@ RunResult run_mpi_blast(Testbed& tb, int procs, const BlastParams& p) {
       const Bytes report(p.report_bytes, static_cast<char>('Q'));
 
       PhaseTimer timer;
+      if (p.collect_spans) timer.bind(file->handle().tracer());
       mpiio::IoRequest pending;
       for (;;) {
         comm.send_value(0, kTagBlastRequest, r);
@@ -227,8 +268,9 @@ RunResult run_mpi_blast(Testbed& tb, int procs, const BlastParams& p) {
       }
       timer.enter(Phase::kIo);
       if (pending.valid()) pending.wait();
-      file->close();
       timer.stop();
+      if (p.collect_spans) clock.record_trace(r, snapshot_spans(*file));
+      file->close();
       clock.record(timer);
     }
 
@@ -254,6 +296,7 @@ PerfResult run_perf(Testbed& tb, int procs, const PerfParams& p) {
   double write_time = 0.0;
   double read_time = 0.0;
   double t_mark = 0.0;
+  std::vector<obs::Span> all_spans;
 
   mpi::RunOptions opts;
   opts.transport = tb.mpi_transport();
@@ -307,6 +350,12 @@ PerfResult run_perf(Testbed& tb, int procs, const PerfParams& p) {
       if (got != in.size() || in != out)
         throw mpiio::IoError("perf: read-back mismatch on rank " + std::to_string(r));
     }
+    if (p.collect_spans) {
+      std::vector<obs::Span> s = snapshot_spans(file);
+      for (auto& sp : s) sp.rank = static_cast<std::uint16_t>(r);
+      std::lock_guard lk(mu);
+      all_spans.insert(all_spans.end(), s.begin(), s.end());
+    }
     file.close();
   },
            opts);
@@ -315,6 +364,16 @@ PerfResult run_perf(Testbed& tb, int procs, const PerfParams& p) {
   const double total = static_cast<double>(p.array_bytes) * procs;
   if (write_time > 0) result.write_bw = total / write_time;
   if (read_time > 0) result.read_bw = total / read_time;
+  if (!all_spans.empty()) {
+    // Per-stream wire occupancy for one representative rank (streams are
+    // per-file connections, so mixing ranks would conflate different TCP
+    // streams that happen to share an index).
+    std::vector<obs::Span> rank0;
+    for (const auto& s : all_spans)
+      if (s.rank == 0) rank0.push_back(s);
+    result.stream_util = obs::ObsAnalyzer(std::move(rank0)).analyze().streams;
+    result.spans = std::move(all_spans);
+  }
   return result;
 }
 
@@ -331,6 +390,7 @@ CompressResult run_compress(Testbed& tb, int procs, const CompressParams& p) {
   double t_mark = 0.0;
   std::atomic<std::uint64_t> raw_total{0};
   std::atomic<std::uint64_t> wire_total{0};
+  std::vector<obs::Span> all_spans;
 
   mpi::RunOptions opts;
   opts.transport = tb.mpi_transport();
@@ -389,11 +449,18 @@ CompressResult run_compress(Testbed& tb, int procs, const CompressParams& p) {
         throw mpiio::IoError("compress: round-trip mismatch on rank " +
                              std::to_string(r));
     }
+    if (p.collect_spans) {
+      std::vector<obs::Span> s = snapshot_spans(file);
+      for (auto& sp : s) sp.rank = static_cast<std::uint16_t>(r);
+      std::lock_guard lk(mu);
+      all_spans.insert(all_spans.end(), s.begin(), s.end());
+    }
     file.close();
   },
            opts);
 
   CompressResult result;
+  result.spans = std::move(all_spans);
   if (elapsed > 0)
     result.agg_write_bw = static_cast<double>(p.data_bytes) * procs / elapsed;
   if (wire_total.load() > 0)

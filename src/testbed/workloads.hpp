@@ -11,7 +11,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "obs/analyzer.hpp"
+#include "obs/span.hpp"
 #include "testbed/world.hpp"
 
 namespace remio::testbed {
@@ -24,6 +27,15 @@ struct RunResult {
   double expected_overlap = 0.0;  // mean per-rank max(compute, io) (§7.1)
   std::uint64_t bytes_written = 0;
   std::uint64_t bytes_read = 0;
+
+  // Span-derived metrics (obs layer); populated when the workload params
+  // leave collect_spans on and Config::Obs is enabled. achieved is the mean
+  // per-rank ObsAnalyzer achieved_of_max — the trace-computed counterpart of
+  // the paper's "x% of the maximum overlap" numbers (§7.1).
+  double span_overlap_achieved = 0.0;
+  double span_compute_busy = 0.0;  // mean per-rank compute-union seconds
+  double span_io_busy = 0.0;       // mean per-rank wire-union seconds
+  std::vector<obs::Span> spans;    // merged trace, Span::rank tags the rank
 };
 
 // --- 2-D Laplace solver (Fig. 4 pseudocode) --------------------------------
@@ -52,6 +64,9 @@ struct LaplaceParams {
   /// With writeback_hwm > 0 the checkpoint writes coalesce client-side.
   std::size_t cache_bytes = 0;
   std::size_t writeback_hwm = 0;
+  /// Snapshot each rank's tracer into RunResult::spans and compute the
+  /// span-derived overlap metrics. No-op when Config::Obs is disabled.
+  bool collect_spans = true;
 };
 
 RunResult run_laplace(Testbed& tb, int procs, const LaplaceParams& p);
@@ -66,6 +81,7 @@ struct BlastParams {
   double compute_per_query = 1.0;
   bool async = false;
   std::string path_prefix = "/blast/out";
+  bool collect_spans = true;  // see LaplaceParams::collect_spans
 };
 
 /// procs counts the master too (paper's x axis); procs >= 2.
@@ -84,11 +100,16 @@ struct PerfParams {
   std::size_t cache_bytes = 0;
   int readahead_blocks = 0;
   std::size_t writeback_hwm = 0;
+  bool collect_spans = true;  // see LaplaceParams::collect_spans
 };
 
 struct PerfResult {
   double write_bw = 0.0;  // aggregate bytes per sim-second
   double read_bw = 0.0;
+  std::vector<obs::Span> spans;  // merged trace, Span::rank tags the rank
+  /// Rank 0's per-stream wire occupancy over its whole run — the §7.2
+  /// "transfers on both connections advance simultaneously" evidence.
+  std::vector<obs::StreamUtilization> stream_util;
 };
 
 PerfResult run_perf(Testbed& tb, int procs, const PerfParams& p);
@@ -102,11 +123,13 @@ struct CompressParams {
   std::string codec = "lzmini";
   std::string path_prefix = "/compr/out";
   bool verify = false;  // decompress and compare after timing
+  bool collect_spans = true;  // see LaplaceParams::collect_spans
 };
 
 struct CompressResult {
   double agg_write_bw = 0.0;      // application bytes per sim-second
   double compression_ratio = 1.0; // raw / wire
+  std::vector<obs::Span> spans;   // kCompress next to kWire = §7.3 pipelining
 };
 
 CompressResult run_compress(Testbed& tb, int procs, const CompressParams& p);

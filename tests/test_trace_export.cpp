@@ -1,0 +1,200 @@
+// Chrome trace_event export: golden-file schema checks (pid/tid/ts/dur/ph
+// on every event), lossless span round-trip through the JSON, analyzer
+// equivalence on original vs re-imported spans, and malformed-input
+// rejection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/analyzer.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
+
+namespace remio::obs {
+namespace {
+
+Span make_span(std::uint64_t op, SpanKind kind, double enq, double deq,
+               double ws, double we, std::uint64_t bytes = 0,
+               std::int16_t stream = -1, std::uint16_t rank = 0,
+               std::uint32_t tid = 1) {
+  Span s;
+  s.op_id = op;
+  s.kind = kind;
+  s.stream = stream;
+  s.rank = rank;
+  s.tid = tid;
+  s.bytes = bytes;
+  s.enqueue = enq;
+  s.dequeue = deq;
+  s.wire_start = ws;
+  s.wire_end = we;
+  return s;
+}
+
+std::vector<Span> sample_spans() {
+  std::vector<Span> spans;
+  spans.push_back(make_span(1, SpanKind::kTask, 1.0, 1.25, 1.5, 3.0, 4096, -1, 0, 7));
+  spans.push_back(make_span(1, SpanKind::kWire, 1.5, 1.5, 1.5, 2.75, 4096, 0, 0, 8));
+  spans.push_back(make_span(2, SpanKind::kWire, 1.5, 1.5, 1.6, 2.9, 2048, 1, 0, 9));
+  spans.push_back(make_span(3, SpanKind::kCompute, 0.0, 0.0, 0.0, 2.0, 0, -1, 1, 7));
+  spans.push_back(make_span(4, SpanKind::kCacheHit, 2.0, 2.0, 2.0, 2.0, 512, -1, 1, 7));
+  return spans;
+}
+
+std::string to_json(const std::vector<Span>& spans) {
+  std::ostringstream os;
+  write_chrome_trace(os, spans);
+  return os.str();
+}
+
+// --- golden / schema --------------------------------------------------------
+
+TEST(TraceExportTest, GoldenEventForSimpleSpan) {
+  // One span with round timestamps: the emitted event must carry the exact
+  // trace_event fields with ts/dur in integer microseconds.
+  const std::string json =
+      to_json({make_span(1, SpanKind::kWire, 1.5, 1.5, 1.5, 2.75, 4096, 0)});
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"wire\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"obs\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1500000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1250000"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  // Wire spans get the synthetic per-stream lane 1000 + stream.
+  EXPECT_NE(json.find("\"tid\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+}
+
+TEST(TraceExportTest, EveryEventCarriesRequiredSchemaKeys) {
+  const std::string json = to_json(sample_spans());
+  std::size_t events = 0;
+  for (std::size_t at = json.find("{\"name\""); at != std::string::npos;
+       at = json.find("{\"name\"", at + 1)) {
+    const std::size_t end = json.find("}}", at);
+    ASSERT_NE(end, std::string::npos);
+    const std::string ev = json.substr(at, end - at);
+    for (const char* key : {"\"ph\":\"X\"", "\"ts\":", "\"dur\":", "\"pid\":",
+                            "\"tid\":", "\"args\":"})
+      EXPECT_NE(ev.find(key), std::string::npos)
+          << "event " << events << " missing " << key;
+    ++events;
+  }
+  EXPECT_EQ(events, sample_spans().size());
+}
+
+// --- round-trip -------------------------------------------------------------
+
+TEST(TraceExportTest, RoundTripPreservesEverySpanField) {
+  const auto original = sample_spans();
+  std::istringstream is(to_json(original));
+  const auto back = read_chrome_trace(is);
+  ASSERT_EQ(back.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const Span& a = original[i];
+    const Span& b = back[i];
+    EXPECT_EQ(a.op_id, b.op_id) << i;
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.stream, b.stream) << i;
+    EXPECT_EQ(a.rank, b.rank) << i;
+    EXPECT_EQ(a.tid, b.tid) << i;
+    EXPECT_EQ(a.bytes, b.bytes) << i;
+    // args carry %.17g sim seconds: bit-exact round-trip.
+    EXPECT_EQ(a.enqueue, b.enqueue) << i;
+    EXPECT_EQ(a.dequeue, b.dequeue) << i;
+    EXPECT_EQ(a.wire_start, b.wire_start) << i;
+    EXPECT_EQ(a.wire_end, b.wire_end) << i;
+  }
+}
+
+TEST(TraceExportTest, RoundTripIsBitExactOnAwkwardDoubles) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> t(0.0, 1e6);
+  std::vector<Span> spans;
+  for (int i = 0; i < 200; ++i) {
+    const double a = t(rng);
+    const double b = a + t(rng) * 1e-9;  // sub-ns increments stress %.17g
+    const double c = b + t(rng) * 1e-3;
+    const double d = c + t(rng);
+    spans.push_back(make_span(static_cast<std::uint64_t>(i + 1),
+                              SpanKind::kIwrite, a, b, c, d, 1, -1));
+  }
+  std::istringstream is(to_json(spans));
+  const auto back = read_chrome_trace(is);
+  ASSERT_EQ(back.size(), spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].enqueue, back[i].enqueue) << i;
+    EXPECT_EQ(spans[i].dequeue, back[i].dequeue) << i;
+    EXPECT_EQ(spans[i].wire_start, back[i].wire_start) << i;
+    EXPECT_EQ(spans[i].wire_end, back[i].wire_end) << i;
+  }
+}
+
+TEST(TraceExportTest, AnalyzerAgreesOnOriginalAndReimportedSpans) {
+  const auto original = sample_spans();
+  std::istringstream is(to_json(original));
+  const auto back = read_chrome_trace(is);
+  const OverlapReport ra = ObsAnalyzer(original).analyze();
+  const OverlapReport rb = ObsAnalyzer(back).analyze();
+  EXPECT_EQ(ra.span_count, rb.span_count);
+  EXPECT_DOUBLE_EQ(ra.exec, rb.exec);
+  EXPECT_DOUBLE_EQ(ra.compute_busy, rb.compute_busy);
+  EXPECT_DOUBLE_EQ(ra.io_busy, rb.io_busy);
+  EXPECT_DOUBLE_EQ(ra.overlapped, rb.overlapped);
+  EXPECT_DOUBLE_EQ(ra.achieved_of_max, rb.achieved_of_max);
+  ASSERT_EQ(ra.streams.size(), rb.streams.size());
+  for (std::size_t i = 0; i < ra.streams.size(); ++i) {
+    EXPECT_EQ(ra.streams[i].stream, rb.streams[i].stream);
+    EXPECT_DOUBLE_EQ(ra.streams[i].busy, rb.streams[i].busy);
+    EXPECT_EQ(ra.streams[i].bytes, rb.streams[i].bytes);
+  }
+}
+
+TEST(TraceExportTest, EmptySpanSetStillValidJson) {
+  std::istringstream is(to_json({}));
+  EXPECT_TRUE(read_chrome_trace(is).empty());
+}
+
+// --- robustness -------------------------------------------------------------
+
+TEST(TraceExportTest, MalformedJsonThrows) {
+  for (const char* bad : {"", "{", "[1,2", "{\"traceEvents\":}",
+                          "{\"traceEvents\":[{]}", "nonsense"}) {
+    std::istringstream is(bad);
+    EXPECT_THROW(read_chrome_trace(is), std::runtime_error) << bad;
+  }
+}
+
+TEST(TraceExportTest, ForeignEventsAreSkippedNotFatal) {
+  // A trace_event file from another tool: valid JSON, but no obs args.
+  std::istringstream is(
+      R"({"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":2,"pid":0,"tid":0}]})");
+  EXPECT_TRUE(read_chrome_trace(is).empty());
+}
+
+// --- text report ------------------------------------------------------------
+
+TEST(TraceExportTest, TextReportContainsOverlapAndStreamLines) {
+  std::ostringstream os;
+  write_text_report(os, sample_spans());
+  const std::string report = os.str();
+  EXPECT_NE(report.find("of maximum overlap"), std::string::npos);
+  EXPECT_NE(report.find("stream 0"), std::string::npos);
+  EXPECT_NE(report.find("stream 1"), std::string::npos);
+  EXPECT_NE(report.find("wire"), std::string::npos);
+  EXPECT_NE(report.find("compute"), std::string::npos);
+}
+
+TEST(TraceExportTest, TextReportOnEmptySpanSetIsBenign) {
+  std::ostringstream os;
+  write_text_report(os, {});
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace remio::obs
