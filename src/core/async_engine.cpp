@@ -8,6 +8,13 @@
 
 namespace remio::semplar {
 
+namespace {
+// "No I/O thread has picked this task up yet" sentinel for Span::dequeue.
+// Negative so it can never collide with a real timestamp — sim time 0.0 is
+// a legitimate dequeue time for the first op of a run.
+constexpr double kDequeueUnset = -1.0;
+}  // namespace
+
 AsyncEngine::AsyncEngine(int threads, std::size_t queue_capacity, bool lazy_spawn,
                          Stats* stats, const Config::Retry& retry,
                          obs::Tracer* tracer)
@@ -40,8 +47,10 @@ void AsyncEngine::worker_loop() {
     if (tracer_ != nullptr) {
       tracer_->gauge(obs::GaugeId::kQueueDepth).add(-1);
       // First pickup only: a replayed task keeps its original dequeue so
-      // the span's queue_wait measures the first FIFO residency.
-      if (item->span.dequeue == 0.0) item->span.dequeue = t0;
+      // the span's queue_wait measures the first FIFO residency. Unassigned
+      // is a negative sentinel, not 0.0 — sim time zero is a legitimate
+      // dequeue timestamp.
+      if (item->span.dequeue < 0.0) item->span.dequeue = t0;
     }
     std::size_t n = 0;
     std::exception_ptr err;
@@ -179,15 +188,23 @@ void AsyncEngine::timer_loop() {
       tracer_->gauge(obs::GaugeId::kDeferredBacklog).add(-1);
       tracer_->gauge(obs::GaugeId::kQueueDepth).add(1);
     }
-    // Keep handles to the completion in case the queue closed under us
-    // (push would consume the item either way).
+    // Keep handles to the completion (and a copy of the task span) in case
+    // the queue closed under us — push consumes the item either way.
     auto state = item.state;
     auto done = item.done;
+    obs::Span span = item.span;
     lk.unlock();
     // Back onto the FIFO: the replay runs in arrival order with whatever
     // else is queued, on any free I/O thread.
     if (!queue_.push(std::move(item))) {
-      if (tracer_ != nullptr) tracer_->gauge(obs::GaugeId::kQueueDepth).add(-1);
+      if (tracer_ != nullptr) {
+        tracer_->gauge(obs::GaugeId::kQueueDepth).add(-1);
+        // Record the task span here too (fail_item can't — the item is
+        // gone), so the no-orphans invariant holds on this shutdown path.
+        span.bytes = 0;
+        span.wire_end = simnet::sim_now();
+        tracer_->record(span);
+      }
       auto err = std::make_exception_ptr(mpiio::IoError("engine shut down"));
       mpiio::IoRequest::fail(state, err);
       if (done) done(0, err);
@@ -215,6 +232,7 @@ mpiio::IoRequest AsyncEngine::enqueue(Item item) {
     item.span.op_id = tracer_->next_op_id();
     item.span.kind = obs::SpanKind::kTask;
     item.span.enqueue = simnet::sim_now();
+    item.span.dequeue = kDequeueUnset;
     tracer_->gauge(obs::GaugeId::kQueueDepth).add(1);
   }
   {
@@ -261,12 +279,17 @@ bool AsyncEngine::try_submit(Task task) {
     item.span.op_id = tracer_->next_op_id();
     item.span.kind = obs::SpanKind::kTask;
     item.span.enqueue = simnet::sim_now();
+    item.span.dequeue = kDequeueUnset;
+    // Increment before the push, mirroring enqueue(): a worker may pop and
+    // decrement the instant the item lands, and the gauge must not go
+    // transiently negative or under-report the watermark.
+    tracer_->gauge(obs::GaugeId::kQueueDepth).add(1);
   }
   if (!queue_.try_push(std::move(item))) {
+    if (tracer_ != nullptr) tracer_->gauge(obs::GaugeId::kQueueDepth).add(-1);
     task_done();
     return false;
   }
-  if (tracer_ != nullptr) tracer_->gauge(obs::GaugeId::kQueueDepth).add(1);
   if (stats_ != nullptr) {
     stats_->add_task();
     stats_->note_queue_depth(queue_.size());

@@ -4,6 +4,7 @@
 #include <array>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -126,15 +127,15 @@ class JsonParser {
 
   JValue number() {
     skip_ws();
-    std::size_t end = 0;
     JValue v;
     v.type = JValue::kNum;
-    try {
-      v.num = std::stod(text_.substr(pos_), &end);
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
-    pos_ += end;
+    // Parse in place (text_ is NUL-terminated); substr-per-token would copy
+    // the whole remaining document for every number, O(n^2) on real traces.
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    v.num = std::strtod(start, &end);
+    if (end == start) fail("bad number");
+    pos_ += static_cast<std::size_t>(end - start);
     return v;
   }
 

@@ -37,12 +37,21 @@ Tracer::~Tracer() = default;
 SpanRing& Tracer::ring_for_this_thread() {
   RingCache& c = t_ring_cache;
   if (c.tracer_id == id_ && c.ring != nullptr) return *c.ring;
+  // The single-slot cache only remembers the last tracer this thread used,
+  // so a thread alternating between tracers (two open files) misses here on
+  // every switch — re-find the ring it already registered rather than
+  // allocating a fresh one each time. Each (thread, tracer) pair gets
+  // exactly one ring; threads are few, so the miss-path scan is short.
+  const std::thread::id me = std::this_thread::get_id();
   std::lock_guard lk(reg_mu_);
-  // Each (thread, tracer) pair gets its own ring; a thread switching
-  // between tracers just re-registers. Rings are small and threads are few
-  // (app thread + I/O threads + timer), so no reclamation is needed.
+  for (const auto& e : rings_) {
+    if (e.owner == me) {
+      c = {id_, e.ring.get()};
+      return *e.ring;
+    }
+  }
   auto ring = std::make_shared<SpanRing>(ring_capacity_);
-  rings_.push_back(ring);
+  rings_.push_back({me, ring});
   c = {id_, ring.get()};
   return *ring;
 }
@@ -84,14 +93,14 @@ void Tracer::note_instant(SpanKind kind, std::uint64_t bytes,
 std::uint64_t Tracer::noted(SpanKind kind) const {
   std::lock_guard lk(reg_mu_);
   std::uint64_t total = 0;
-  for (const auto& r : rings_) total += r->noted(kind);
+  for (const auto& e : rings_) total += e.ring->noted(kind);
   return total;
 }
 
 std::uint64_t Tracer::noted_bytes(SpanKind kind) const {
   std::lock_guard lk(reg_mu_);
   std::uint64_t total = 0;
-  for (const auto& r : rings_) total += r->noted_bytes(kind);
+  for (const auto& e : rings_) total += e.ring->noted_bytes(kind);
   return total;
 }
 
@@ -99,7 +108,8 @@ std::vector<Span> Tracer::snapshot() const {
   std::vector<std::shared_ptr<SpanRing>> rings;
   {
     std::lock_guard lk(reg_mu_);
-    rings = rings_;
+    rings.reserve(rings_.size());
+    for (const auto& e : rings_) rings.push_back(e.ring);
   }
   std::vector<Span> out;
   for (const auto& r : rings) {
@@ -116,7 +126,7 @@ std::vector<Span> Tracer::snapshot() const {
 std::uint64_t Tracer::dropped() const {
   std::lock_guard lk(reg_mu_);
   std::uint64_t total = 0;
-  for (const auto& r : rings_) total += r->dropped();
+  for (const auto& e : rings_) total += e.ring->dropped();
   return total;
 }
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "obs/histogram.hpp"
@@ -204,8 +205,15 @@ class Tracer {
   std::atomic<std::uint64_t> next_op_{0};
   std::atomic<std::uint64_t> recorded_{0};
 
+  // One ring per recording thread, tagged with its owner so a thread whose
+  // cache slot was evicted (it recorded through another tracer in between)
+  // finds its existing ring again instead of allocating a duplicate.
+  struct RingEntry {
+    std::thread::id owner;
+    std::shared_ptr<SpanRing> ring;
+  };
   mutable std::mutex reg_mu_;
-  std::vector<std::shared_ptr<SpanRing>> rings_;
+  std::vector<RingEntry> rings_;
 
   std::array<Histogram, static_cast<std::size_t>(SpanKind::kCount)> latency_{};
   Histogram queue_wait_;

@@ -139,6 +139,28 @@ TEST(TracerTest, RingOverflowCountsDropsButKeepsRecordedTotal) {
   EXPECT_EQ(tracer.latency(SpanKind::kWire).count(), 20u);
 }
 
+TEST(TracerTest, ThreadAlternatingBetweenTracersReusesItsRing) {
+  // Regression: the thread-local ring cache holds a single slot, so a
+  // thread alternating between two tracers (two open files) misses on every
+  // record; each miss must re-find the thread's existing ring rather than
+  // allocate a fresh one, or rings_ grows without bound and drop-oldest
+  // never engages.
+  Tracer a(4);
+  Tracer b(4);
+  for (int i = 0; i < 10; ++i) {
+    a.record(make_span(a.next_op_id(), SpanKind::kTask,
+                       static_cast<double>(i), 0, 0, 0));
+    b.record(make_span(b.next_op_id(), SpanKind::kTask,
+                       static_cast<double>(i), 0, 0, 0));
+  }
+  // One ring per (thread, tracer) pair: capacity 4 keeps 4 survivors and
+  // drops 6 per tracer. Duplicated rings would show 10 live, 0 dropped.
+  EXPECT_EQ(a.snapshot().size(), 4u);
+  EXPECT_EQ(a.dropped(), 6u);
+  EXPECT_EQ(b.snapshot().size(), 4u);
+  EXPECT_EQ(b.dropped(), 6u);
+}
+
 // --- sampled notes ----------------------------------------------------------
 
 TEST(TracerTest, NoteInstantCountsAllSamplesSome) {
