@@ -16,7 +16,7 @@ using namespace remio::testbed;
 int main(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);
   // Small scale: real codec CPU time must stay far below transmission time.
-  simnet::set_time_scale(opts.get_double("scale", 10.0));
+  apply_time_scale(opts, 10.0);
   const ClusterSpec cluster = cluster_by_name(opts.get("cluster", "das2"));
   const int procs = static_cast<int>(opts.get_int("procs", 4));
 

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);
   // Scale 60: MPI-BLAST writes small (50 KB) records, so the fixed per-RPC
   // cost must stay small against the shaped transfer time.
-  simnet::set_time_scale(opts.get_double("scale", 30.0));
+  apply_time_scale(opts, 30.0);
   const auto clusters = clusters_from(opts);
   const auto procs = procs_from(opts, {2, 4, 7, 10, 13});
 
@@ -100,9 +100,6 @@ int main(int argc, char** argv) {
                   span_achieved.min(), span_achieved.max());
   }
 
-  if (opts.has("trace") && !last_trace.empty())
-    obs::dump_chrome_trace(opts.get("trace"), last_trace);
-  if (opts.has("report") && !last_trace.empty())
-    obs::dump_text_report(opts.get("report"), last_trace);
+  dump_trace_artifacts(opts, last_trace);
   return 0;
 }

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);
   // Scale 60: sync-vs-async deltas here are a few percent, so shaped times
   // must dwarf scheduler jitter.
-  simnet::set_time_scale(opts.get_double("scale", 60.0));
+  apply_time_scale(opts, 60.0);
   const auto clusters = clusters_from(opts);
   const auto procs = procs_from(opts, {1, 2, 4, 7, 10, 13});
 
@@ -113,9 +113,6 @@ int main(int argc, char** argv) {
                   span_achieved.min(), span_achieved.max());
   }
 
-  if (opts.has("trace") && !last_trace.empty())
-    obs::dump_chrome_trace(opts.get("trace"), last_trace);
-  if (opts.has("report") && !last_trace.empty())
-    obs::dump_text_report(opts.get("report"), last_trace);
+  dump_trace_artifacts(opts, last_trace);
   return 0;
 }

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   // Scale 50: up to 60 concurrent transfers run here; keeping shaped times
   // long relative to wall scheduling noise keeps the bandwidth estimates
   // clean on a small host.
-  simnet::set_time_scale(opts.get_double("scale", 50.0));
+  apply_time_scale(opts, 50.0);
 
   PerfParams base;
   base.array_bytes = static_cast<std::size_t>(opts.get_int("array-kb", 4096)) << 10;
@@ -38,8 +38,8 @@ int main(int argc, char** argv) {
 
   std::vector<obs::Span> last_trace;  // most recent two-stream run, for --trace
 
-  for (const auto& name : opts.get_list("clusters", {"das2", "tg"})) {
-    const ClusterSpec cluster = cluster_by_name(name);
+  for (const auto& cluster : clusters_from(opts, {"das2", "tg"})) {
+    const std::string& name = cluster.name;
     const std::vector<int> procs = procs_from(
         opts, name == "das2" ? std::vector<int>{2, 6, 10, 14, 18, 22, 26, 30}
                              : std::vector<int>{1, 2, 4, 6, 8, 10});
@@ -95,9 +95,6 @@ int main(int argc, char** argv) {
                   cluster.name.c_str(), util0.mean(), util1.mean());
   }
 
-  if (opts.has("trace") && !last_trace.empty())
-    obs::dump_chrome_trace(opts.get("trace"), last_trace);
-  if (opts.has("report") && !last_trace.empty())
-    obs::dump_text_report(opts.get("report"), last_trace);
+  dump_trace_artifacts(opts, last_trace);
   return 0;
 }

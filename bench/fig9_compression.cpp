@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   // Compression is real CPU work and the clock maps it at wall x scale, so
   // this figure defaults to a small scale to preserve the paper's premise
   // that compression time is far below transmission time (§7.3).
-  simnet::set_time_scale(opts.get_double("scale", 10.0));
+  apply_time_scale(opts, 10.0);
 
   CompressParams base;
   base.data_bytes = static_cast<std::size_t>(opts.get_int("data-kb", 4096)) << 10;
@@ -34,8 +34,8 @@ int main(int argc, char** argv) {
 
   std::printf("Figure 9: on-the-fly compression, aggregate write bandwidth (Mb/s)\n");
 
-  for (const auto& name : opts.get_list("clusters", {"das2", "tg"})) {
-    const ClusterSpec cluster = cluster_by_name(name);
+  for (const auto& cluster : clusters_from(opts, {"das2", "tg"})) {
+    const std::string& name = cluster.name;
     const std::vector<int> procs = procs_from(
         opts, name == "das2" ? std::vector<int>{1, 3, 5, 7, 9, 11, 13}
                              : std::vector<int>{1, 3, 5, 7, 9, 11});

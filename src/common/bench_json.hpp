@@ -1,0 +1,46 @@
+// Minimal streaming JSON writer for the BENCH_*.json artifacts the CI
+// bench-smoke lane uploads and diffs against committed baselines. Handles
+// the flat-ish objects those files need — nothing more. Keys/strings are
+// escaped; numbers print round-trippably.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace remio {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; follow with a value() or begin_*().
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(bool v);
+
+  /// The finished document (all begin_* closed).
+  const std::string& str() const { return out_; }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void separate();  // emit ',' between container members
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool after_key_ = false;
+};
+
+/// Writes `json` to `path`; throws std::runtime_error on I/O failure.
+void write_json_file(const std::string& path, const std::string& json);
+
+}  // namespace remio

@@ -26,6 +26,10 @@ class Options {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Every parsed --key=value pair; lets drivers forward flags they do not
+  /// themselves recognize (e.g. workload_driver -> WorkloadParams::kv).
+  const std::map<std::string, std::string>& all() const { return kv_; }
+
  private:
   std::map<std::string, std::string> kv_;
   std::vector<std::string> positional_;

@@ -1,18 +1,29 @@
 #include "testbed/harness.hpp"
 
 #include <cstdio>
+#include <utility>
 
+#include "obs/trace_export.hpp"
 #include "simnet/timescale.hpp"
 
 namespace remio::testbed {
 
 void apply_time_scale(const Options& opts) {
-  simnet::set_time_scale(opts.get_double("scale", kDefaultTimeScale));
+  apply_time_scale(opts, kDefaultTimeScale);
+}
+
+void apply_time_scale(const Options& opts, double default_scale) {
+  simnet::set_time_scale(opts.get_double("scale", default_scale));
 }
 
 std::vector<ClusterSpec> clusters_from(const Options& opts) {
+  return clusters_from(opts, {"das2", "osc", "tg"});
+}
+
+std::vector<ClusterSpec> clusters_from(const Options& opts,
+                                       std::vector<std::string> def) {
   std::vector<ClusterSpec> out;
-  for (const auto& name : opts.get_list("clusters", {"das2", "osc", "tg"}))
+  for (const auto& name : opts.get_list("clusters", std::move(def)))
     out.push_back(cluster_by_name(name));
   return out;
 }
@@ -30,6 +41,13 @@ void emit(const Options& opts, const std::string& title, const Table& table) {
   std::printf("\n== %s ==\n%s", title.c_str(), table.to_text().c_str());
   if (opts.get_bool("csv", false)) std::printf("%s", table.to_csv().c_str());
   std::fflush(stdout);
+}
+
+void dump_trace_artifacts(const Options& opts,
+                          const std::vector<obs::Span>& spans) {
+  if (spans.empty()) return;
+  if (opts.has("trace")) obs::dump_chrome_trace(opts.get("trace"), spans);
+  if (opts.has("report")) obs::dump_text_report(opts.get("report"), spans);
 }
 
 }  // namespace remio::testbed

@@ -7,6 +7,7 @@
 
 #include "common/options.hpp"
 #include "common/table.hpp"
+#include "obs/span.hpp"
 #include "testbed/cluster.hpp"
 
 namespace remio::testbed {
@@ -16,9 +17,14 @@ constexpr double kDefaultTimeScale = 100.0;
 
 /// Applies --scale (or the default) to the global sim clock.
 void apply_time_scale(const Options& opts);
+/// Same, with a bench-specific default scale (fig7 needs 60, fig9 only 10).
+void apply_time_scale(const Options& opts, double default_scale);
 
 /// Parses --clusters=das2,osc,tg (default: all three).
 std::vector<ClusterSpec> clusters_from(const Options& opts);
+/// Same, with a bench-specific default set (fig8/fig9 skip the NAT'd OSC).
+std::vector<ClusterSpec> clusters_from(const Options& opts,
+                                       std::vector<std::string> def);
 
 /// Parses --procs=2,4,... with a figure-specific default sweep.
 std::vector<int> procs_from(const Options& opts, std::vector<int> def);
@@ -29,5 +35,11 @@ double pct_gain(double base, double better);
 
 /// Prints a titled table in text (and CSV if --csv was passed).
 void emit(const Options& opts, const std::string& title, const Table& table);
+
+/// Writes --trace (Chrome trace_event JSON) and --report (plain-text obs
+/// report) artifacts for `spans`, when those flags were passed and the trace
+/// is non-empty — the shared tail of every fig/ablation bench.
+void dump_trace_artifacts(const Options& opts,
+                          const std::vector<obs::Span>& spans);
 
 }  // namespace remio::testbed

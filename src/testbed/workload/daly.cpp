@@ -1,0 +1,104 @@
+#include "testbed/workload/daly.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "mpiio/adio.hpp"
+
+namespace remio::testbed::workload {
+
+double daly_optimum_interval(double delta_s, double mtti_s) {
+  if (!(delta_s > 0.0))
+    throw std::invalid_argument("daly: checkpoint commit time must be > 0");
+  if (!(mtti_s > 0.0)) throw std::invalid_argument("daly: MTTI must be > 0");
+  const double tau = std::sqrt(2.0 * delta_s * mtti_s) - delta_s;
+  if (!(tau > 0.0))
+    throw std::invalid_argument(
+        "daly: MTTI too small to amortize a checkpoint (optimum interval "
+        "would be non-positive)");
+  return tau;
+}
+
+std::uint64_t daly_checkpoint_count(double runtime_s, double tau_s,
+                                    double delta_s) {
+  if (!(runtime_s > 0.0))
+    throw std::invalid_argument("daly: runtime must be > 0");
+  const auto n =
+      static_cast<std::uint64_t>(std::floor(runtime_s / (tau_s + delta_s)));
+  return n < 1 ? 1 : n;
+}
+
+namespace {
+
+constexpr const char* kPath = "/wk/daly.ckpt";
+
+class DalyGenerator final : public ScriptedGenerator {
+ public:
+  std::string name() const override { return "daly"; }
+
+  void load(const WorkloadParams& p) override {
+    const double chkpoint_mb = p.get_double("chkpoint-mb", 32.0);
+    const double bw_mbs = p.get_double("chkpoint-bw-mbs", 8.0);
+    const double runtime_s = p.get_double("runtime-s", 240.0);
+    const double mtti_s = p.get_double("mtti-s", 3600.0);
+    const bool restart = p.get_bool("restart", false);
+
+    WorkloadParams::require(p.ranks >= 1, "daly", "ranks must be >= 1");
+    WorkloadParams::require(chkpoint_mb > 0.0, "daly",
+                            "--chkpoint-mb must be > 0");
+    WorkloadParams::require(bw_mbs > 0.0, "daly",
+                            "--chkpoint-bw-mbs must be > 0");
+    WorkloadParams::require(runtime_s > 0.0, "daly", "--runtime-s must be > 0");
+    WorkloadParams::require(mtti_s > 0.0, "daly", "--mtti-s must be > 0");
+
+    const double delta = chkpoint_mb / bw_mbs;
+    const double tau = daly_optimum_interval(delta, mtti_s);
+    const std::uint64_t cycles = daly_checkpoint_count(runtime_s, tau, delta);
+    const auto total =
+        static_cast<std::uint64_t>(chkpoint_mb * 1024.0 * 1024.0);
+    WorkloadParams::require(total >= static_cast<std::uint64_t>(p.ranks),
+                            "daly", "--chkpoint-mb too small for rank count");
+
+    reset_scripts(p.ranks);
+    for (int r = 0; r < p.ranks; ++r) {
+      auto& s = mutable_script(r);
+      emit_shared_open(s, r, 0, kPath);
+      const std::uint64_t off = total * static_cast<std::uint64_t>(r) /
+                                static_cast<std::uint64_t>(p.ranks);
+      const std::uint64_t end = total * (static_cast<std::uint64_t>(r) + 1) /
+                                static_cast<std::uint64_t>(p.ranks);
+      const std::uint64_t len = end - off;
+
+      if (restart) {
+        // Restart from the previous dump: rank 0 materializes it, then every
+        // rank reads its stripe back before computing resumes.
+        if (r == 0) s.push_back(ops::write_at(0, 0, total, /*async=*/false));
+        s.push_back(ops::barrier());
+        s.push_back(ops::read_at(0, off, len, /*async=*/true));
+        s.push_back(ops::drain());
+      }
+      s.push_back(ops::phase_mark(0));
+
+      for (std::uint64_t c = 0; c < cycles; ++c) {
+        s.push_back(ops::compute(tau));
+        s.push_back(ops::write_at(0, off, len, /*async=*/true));
+        s.push_back(ops::drain());
+        s.push_back(ops::barrier());
+      }
+
+      s.push_back(ops::phase_mark(1));
+      s.push_back(ops::flush(0));
+      s.push_back(ops::close(0));
+      s.push_back(ops::end());
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_daly() {
+  return std::make_unique<DalyGenerator>();
+}
+
+}  // namespace remio::testbed::workload

@@ -1,0 +1,37 @@
+// Daly checkpoint-restart workload (after Daly, "A higher order estimate of
+// the optimum checkpoint interval for restart dumps", the codes-workload
+// checkpoint generator): ranks compute for the Daly-optimal interval, then
+// collectively write one striped checkpoint, for as many cycles as fit the
+// modelled runtime.
+//
+// Params:
+//   chkpoint-mb      total checkpoint size, MB            (default 32)
+//   chkpoint-bw-mbs  aggregate checkpoint write BW, MB/s  (default 8)
+//   runtime-s        modelled application runtime, s      (default 240)
+//   mtti-s           mean time to interrupt, s            (default 3600)
+//   restart          read the checkpoint back first (0/1) (default 0)
+//
+// delta = size / bw is the checkpoint commit time; the first-order Daly
+// optimum interval is sqrt(2 * delta * MTTI) - delta.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "testbed/workload/generator.hpp"
+
+namespace remio::testbed::workload {
+
+/// First-order Daly optimum compute interval between checkpoints, seconds.
+/// Throws std::invalid_argument when the inputs make the interval
+/// non-positive (MTTI too small to ever amortize a checkpoint).
+double daly_optimum_interval(double delta_s, double mtti_s);
+
+/// Checkpoint cycles that fit `runtime_s` with `tau_s` compute + `delta_s`
+/// commit per cycle; at least 1.
+std::uint64_t daly_checkpoint_count(double runtime_s, double tau_s,
+                                    double delta_s);
+
+std::unique_ptr<WorkloadGenerator> make_daly();
+
+}  // namespace remio::testbed::workload

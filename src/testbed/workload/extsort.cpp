@@ -1,0 +1,149 @@
+#include "testbed/workload/extsort.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "mpiio/adio.hpp"
+
+namespace remio::testbed::workload {
+namespace {
+
+constexpr const char* kPath = "/wk/extsort.dat";
+
+class ExtsortGenerator final : public ScriptedGenerator {
+ public:
+  std::string name() const override { return "extsort"; }
+
+  void load(const WorkloadParams& p) override {
+    const auto data_mb = p.get_int("data-mb", 8);
+    const auto mem_mb = p.get_int("mem-mb", 2);
+    const auto fanin = p.get_int("fanin", 4);
+    const auto block_kb = p.get_int("block-kb", 256);
+    const double sort_s_mb = p.get_double("sort-ms-mb", 12.0) / 1e3;
+    const double merge_s_mb = p.get_double("merge-ms-mb", 4.0) / 1e3;
+
+    WorkloadParams::require(p.ranks >= 1, "extsort", "ranks must be >= 1");
+    WorkloadParams::require(data_mb >= 1, "extsort", "--data-mb must be >= 1");
+    WorkloadParams::require(mem_mb >= 1 && mem_mb <= data_mb, "extsort",
+                            "--mem-mb must be in [1, data-mb]");
+    WorkloadParams::require(fanin >= 2, "extsort", "--fanin must be >= 2");
+    WorkloadParams::require(block_kb >= 1 && 1024 % block_kb == 0, "extsort",
+                            "--block-kb must divide 1024");
+    WorkloadParams::require(sort_s_mb >= 0.0 && merge_s_mb >= 0.0, "extsort",
+                            "compute costs must be >= 0");
+
+    const std::uint64_t block = static_cast<std::uint64_t>(block_kb) * 1024;
+    const std::uint64_t total_blocks =
+        static_cast<std::uint64_t>(data_mb) * 1024 * 1024 / block;
+    const std::uint64_t run_blocks =
+        static_cast<std::uint64_t>(mem_mb) * 1024 * 1024 / block;
+    WorkloadParams::require(total_blocks % run_blocks == 0, "extsort",
+                            "--mem-mb must divide --data-mb");
+    const std::uint64_t region = total_blocks * block;  // input / scratch size
+    const double block_mb = static_cast<double>(block) / (1024.0 * 1024.0);
+
+    const auto ranks = static_cast<std::uint64_t>(p.ranks);
+    reset_scripts(p.ranks);
+    std::vector<std::vector<Op>*> s(static_cast<std::size_t>(p.ranks));
+    for (int r = 0; r < p.ranks; ++r) {
+      s[static_cast<std::size_t>(r)] = &mutable_script(r);
+      emit_shared_open(*s[static_cast<std::size_t>(r)], r, 0, kPath);
+    }
+    const auto all = [&](const Op& op) {
+      for (auto* sc : s) sc->push_back(op);
+    };
+
+    // Phase 0: materialize the unsorted input region, rank-partitioned.
+    for (int r = 0; r < p.ranks; ++r) {
+      const std::uint64_t lo = total_blocks * static_cast<std::uint64_t>(r) / ranks;
+      const std::uint64_t hi =
+          total_blocks * (static_cast<std::uint64_t>(r) + 1) / ranks;
+      for (std::uint64_t b = lo; b < hi; ++b)
+        s[static_cast<std::size_t>(r)]->push_back(
+            ops::write_at(0, b * block, block, /*async=*/true));
+      s[static_cast<std::size_t>(r)]->push_back(ops::drain());
+    }
+    all(ops::phase_mark(0));
+
+    // Phase 1: run generation. Runs round-robin across ranks: read one
+    // memory-sized run, charge the in-memory sort, write it back sorted into
+    // scratch region A.
+    const std::uint64_t n_runs = total_blocks / run_blocks;
+    const double run_mb = static_cast<double>(run_blocks) * block_mb;
+    for (std::uint64_t run = 0; run < n_runs; ++run) {
+      auto& sc = *s[static_cast<std::size_t>(run % ranks)];
+      const std::uint64_t base = run * run_blocks * block;
+      for (std::uint64_t b = 0; b < run_blocks; ++b)
+        sc.push_back(ops::read_at(0, base + b * block, block, /*async=*/true));
+      sc.push_back(ops::drain());
+      if (sort_s_mb > 0.0) sc.push_back(ops::compute(sort_s_mb * run_mb));
+      for (std::uint64_t b = 0; b < run_blocks; ++b)
+        sc.push_back(
+            ops::write_at(0, region + base + b * block, block, /*async=*/true));
+      sc.push_back(ops::drain());
+    }
+    all(ops::barrier());
+    all(ops::phase_mark(1));
+
+    // Phase 2: K-way merge passes, ping-ponging between scratch A (at
+    // `region`) and scratch B (at `2 * region`) until one run remains. The
+    // reads interleave block-by-block across the K input runs — the strided
+    // access shape that makes this workload interesting for remote I/O.
+    std::vector<std::uint64_t> run_len(n_runs, run_blocks);  // in blocks
+    std::uint64_t src = region, dst = 2 * region;
+    const auto k = static_cast<std::uint64_t>(fanin);
+    while (run_len.size() > 1) {
+      const std::uint64_t in_runs = run_len.size();
+      const std::uint64_t out_runs = (in_runs + k - 1) / k;
+      // Block offset of each input run within src (prefix sums).
+      std::vector<std::uint64_t> in_pos(in_runs + 1, 0);
+      for (std::uint64_t i = 0; i < in_runs; ++i)
+        in_pos[i + 1] = in_pos[i] + run_len[i];
+      std::vector<std::uint64_t> out_len(out_runs, 0);
+
+      std::uint64_t out_base = 0;  // block offset of output run j within dst
+      for (std::uint64_t j = 0; j < out_runs; ++j) {
+        const std::uint64_t first = j * k;
+        const std::uint64_t last = std::min(first + k, in_runs);
+        std::uint64_t longest = 0;
+        for (std::uint64_t i = first; i < last; ++i) {
+          out_len[j] += run_len[i];
+          longest = std::max(longest, run_len[i]);
+        }
+        auto& sc = *s[static_cast<std::size_t>(j % ranks)];
+        // Interleaved reads: block b of every input run before block b+1.
+        for (std::uint64_t b = 0; b < longest; ++b)
+          for (std::uint64_t i = first; i < last; ++i)
+            if (b < run_len[i])
+              sc.push_back(ops::read_at(0, src + (in_pos[i] + b) * block,
+                                        block, /*async=*/true));
+        sc.push_back(ops::drain());
+        if (merge_s_mb > 0.0)
+          sc.push_back(ops::compute(
+              merge_s_mb * static_cast<double>(out_len[j]) * block_mb));
+        for (std::uint64_t b = 0; b < out_len[j]; ++b)
+          sc.push_back(ops::write_at(0, dst + (out_base + b) * block, block,
+                                     /*async=*/true));
+        sc.push_back(ops::drain());
+        out_base += out_len[j];
+      }
+      all(ops::barrier());
+      run_len = std::move(out_len);
+      std::swap(src, dst);
+    }
+    all(ops::phase_mark(2));
+    all(ops::flush(0));
+    all(ops::close(0));
+    all(ops::end());
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_extsort() {
+  return std::make_unique<ExtsortGenerator>();
+}
+
+}  // namespace remio::testbed::workload

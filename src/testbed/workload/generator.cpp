@@ -1,0 +1,93 @@
+#include "testbed/workload/generator.hpp"
+
+#include <stdexcept>
+
+#include "mpiio/adio.hpp"
+
+namespace remio::testbed::workload {
+
+std::string WorkloadParams::get(const std::string& key,
+                                const std::string& def) const {
+  const auto it = kv.find(key);
+  return it == kv.end() ? def : it->second;
+}
+
+long long WorkloadParams::get_int(const std::string& key, long long def) const {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return def;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("workload param --" + key + "=" + it->second +
+                                ": not an integer");
+  }
+}
+
+double WorkloadParams::get_double(const std::string& key, double def) const {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return def;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("workload param --" + key + "=" + it->second +
+                                ": not a number");
+  }
+}
+
+bool WorkloadParams::get_bool(const std::string& key, bool def) const {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return def;
+  const std::string& v = it->second;
+  return !(v == "0" || v == "false" || v == "no" || v == "off");
+}
+
+void WorkloadParams::require(bool cond, const std::string& who,
+                             const std::string& what) {
+  if (!cond) throw std::invalid_argument(who + ": " + what);
+}
+
+std::uint64_t rank_seed(std::uint64_t seed, int rank, std::uint64_t salt) {
+  // splitmix64 over (seed, rank, salt): decorrelated per-rank streams that
+  // are identical across platforms and instantiations.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL *
+                               (static_cast<std::uint64_t>(rank) + 1 + salt * 0x10001ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Op ScriptedGenerator::get_next(int rank) {
+  const auto r = static_cast<std::size_t>(rank);
+  if (r >= scripts_.size())
+    throw std::out_of_range("workload get_next: rank " + std::to_string(rank) +
+                            " out of range (loaded for " +
+                            std::to_string(scripts_.size()) + " ranks)");
+  if (cursors_[r] >= scripts_[r].size()) return ops::end();
+  return scripts_[r][cursors_[r]++];
+}
+
+const std::vector<Op>& ScriptedGenerator::script(int rank) const {
+  return scripts_.at(static_cast<std::size_t>(rank));
+}
+
+void ScriptedGenerator::reset_scripts(int ranks) {
+  scripts_.assign(static_cast<std::size_t>(ranks), {});
+  cursors_.assign(static_cast<std::size_t>(ranks), 0);
+}
+
+std::vector<Op>& ScriptedGenerator::mutable_script(int rank) {
+  return scripts_.at(static_cast<std::size_t>(rank));
+}
+
+void emit_shared_open(std::vector<Op>& script, int rank, std::int32_t slot,
+                      const std::string& path) {
+  using namespace mpiio;
+  if (rank == 0) {
+    script.push_back(ops::open(slot, path, kModeWrite | kModeCreate | kModeTrunc));
+    script.push_back(ops::close(slot));
+  }
+  script.push_back(ops::barrier());
+  script.push_back(ops::open(slot, path, kModeRead | kModeWrite));
+}
+
+}  // namespace remio::testbed::workload

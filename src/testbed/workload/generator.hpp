@@ -1,0 +1,99 @@
+// The pluggable workload-generator interface (codes-workload style): a
+// generator is load()ed once with key/value params, then streams per-rank
+// Ops via get_next(rank) until the kEnd sentinel. Generators are selected
+// by name through workload/registry.hpp; the shared executor runs any of
+// them against the full remote-I/O stack.
+//
+// Contract:
+//  * load() validates params and builds all per-rank state; it throws
+//    std::invalid_argument with a field-specific message on bad input.
+//  * get_next(rank) is called from rank's executing thread, one op at a
+//    time, strictly in order. Implementations keep per-rank cursors/state
+//    so concurrent calls for *different* ranks are safe without locks.
+//  * Once a rank's stream ends, get_next(rank) returns kEnd forever.
+//  * Collective ops (kBarrier / kPhaseMark) must appear in the same order
+//    and count in every rank's stream.
+//  * Determinism: for a fixed (params, seed), the op stream of each rank is
+//    bit-identical across instantiations. Randomized generators derive one
+//    RNG per rank via rank_seed(seed, rank), never a shared one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "testbed/workload/op.hpp"
+
+namespace remio::testbed::workload {
+
+struct UserCtx;  // defined in workload/executor.hpp
+
+/// Generator configuration: rank count, the deterministic seed, and
+/// generator-specific string knobs (the driver passes unrecognized --k=v
+/// flags straight through).
+struct WorkloadParams {
+  int ranks = 1;
+  std::uint64_t seed = 42;
+  std::map<std::string, std::string> kv;
+
+  std::string get(const std::string& key, const std::string& def = "") const;
+  long long get_int(const std::string& key, long long def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+  bool has(const std::string& key) const { return kv.count(key) != 0; }
+
+  /// Throws std::invalid_argument naming `who` when `cond` is false.
+  static void require(bool cond, const std::string& who,
+                      const std::string& what);
+};
+
+/// splitmix64-style mix of the workload seed with a rank (and an optional
+/// stream salt), so per-rank RNG streams are decorrelated but reproducible.
+std::uint64_t rank_seed(std::uint64_t seed, int rank, std::uint64_t salt = 0);
+
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  virtual std::string name() const = 0;
+  virtual void load(const WorkloadParams& params) = 0;
+  virtual Op get_next(int rank) = 0;
+
+  /// Hooks backing this generator's kUser ops (indexed by Op::user). The
+  /// executor fetches them once per run. Pure op-stream generators return {}.
+  virtual std::vector<std::function<void(UserCtx&)>> hooks() { return {}; }
+};
+
+/// Base for generators whose streams are fully precomputed at load() time —
+/// all four registered generators are scripted, which is what makes the
+/// determinism tests ("same seed => bit-identical stream") meaningful.
+class ScriptedGenerator : public WorkloadGenerator {
+ public:
+  Op get_next(int rank) override;
+
+  /// The whole remaining stream of one rank (testing/analysis; does not
+  /// advance the cursor).
+  const std::vector<Op>& script(int rank) const;
+
+ protected:
+  /// Resets to `ranks` empty scripts; load() implementations call this
+  /// first so a generator can be re-loaded.
+  void reset_scripts(int ranks);
+  std::vector<Op>& mutable_script(int rank);
+
+ private:
+  std::vector<std::vector<Op>> scripts_;
+  std::vector<std::size_t> cursors_;
+};
+
+/// Emits the shared-file prologue used by several generators: rank 0
+/// creates+truncates `path` and closes it, everyone barriers, then every
+/// rank opens it read/write into `slot`.
+void emit_shared_open(std::vector<Op>& script, int rank, std::int32_t slot,
+                      const std::string& path);
+
+}  // namespace remio::testbed::workload

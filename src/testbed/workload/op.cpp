@@ -1,0 +1,139 @@
+#include "testbed/workload/op.hpp"
+
+namespace remio::testbed::workload {
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kOpen: return "open";
+    case OpKind::kClose: return "close";
+    case OpKind::kRead: return "read";
+    case OpKind::kWrite: return "write";
+    case OpKind::kReadAt: return "read_at";
+    case OpKind::kWriteAt: return "write_at";
+    case OpKind::kFlush: return "flush";
+    case OpKind::kBarrier: return "barrier";
+    case OpKind::kCompute: return "compute";
+    case OpKind::kDrain: return "drain";
+    case OpKind::kPhaseMark: return "phase_mark";
+    case OpKind::kUser: return "user";
+    case OpKind::kEnd: return "end";
+    case OpKind::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+bool payload_eq(const std::shared_ptr<const Bytes>& a,
+                const std::shared_ptr<const Bytes>& b) {
+  if (a == b) return true;  // same buffer or both null
+  if (!a || !b) return false;
+  return *a == *b;
+}
+
+}  // namespace
+
+bool operator==(const Op& a, const Op& b) {
+  return a.kind == b.kind && a.file == b.file && a.offset == b.offset &&
+         a.bytes == b.bytes && a.seconds == b.seconds && a.mode == b.mode &&
+         a.user == b.user && a.async == b.async && a.phase == b.phase &&
+         a.path == b.path && payload_eq(a.data, b.data) &&
+         payload_eq(a.expect, b.expect);
+}
+
+namespace ops {
+
+Op open(std::int32_t slot, std::string path, std::uint32_t mode) {
+  Op o;
+  o.kind = OpKind::kOpen;
+  o.file = slot;
+  o.path = std::move(path);
+  o.mode = mode;
+  return o;
+}
+
+Op close(std::int32_t slot) {
+  Op o;
+  o.kind = OpKind::kClose;
+  o.file = slot;
+  return o;
+}
+
+namespace {
+
+Op io(OpKind kind, std::int32_t slot, std::uint64_t offset, std::uint64_t bytes,
+      bool async) {
+  Op o;
+  o.kind = kind;
+  o.file = slot;
+  o.offset = offset;
+  o.bytes = bytes;
+  o.async = async;
+  return o;
+}
+
+}  // namespace
+
+Op read_at(std::int32_t slot, std::uint64_t offset, std::uint64_t bytes,
+           bool async) {
+  return io(OpKind::kReadAt, slot, offset, bytes, async);
+}
+
+Op write_at(std::int32_t slot, std::uint64_t offset, std::uint64_t bytes,
+            bool async) {
+  return io(OpKind::kWriteAt, slot, offset, bytes, async);
+}
+
+Op read_fp(std::int32_t slot, std::uint64_t bytes, bool async) {
+  return io(OpKind::kRead, slot, 0, bytes, async);
+}
+
+Op write_fp(std::int32_t slot, std::uint64_t bytes, bool async) {
+  return io(OpKind::kWrite, slot, 0, bytes, async);
+}
+
+Op flush(std::int32_t slot) {
+  Op o;
+  o.kind = OpKind::kFlush;
+  o.file = slot;
+  return o;
+}
+
+Op barrier() {
+  Op o;
+  o.kind = OpKind::kBarrier;
+  return o;
+}
+
+Op compute(double seconds) {
+  Op o;
+  o.kind = OpKind::kCompute;
+  o.seconds = seconds;
+  return o;
+}
+
+Op drain() {
+  Op o;
+  o.kind = OpKind::kDrain;
+  return o;
+}
+
+Op phase_mark(std::int32_t segment) {
+  Op o;
+  o.kind = OpKind::kPhaseMark;
+  o.user = segment;
+  return o;
+}
+
+Op user(std::int32_t hook, OpPhase phase) {
+  Op o;
+  o.kind = OpKind::kUser;
+  o.user = hook;
+  o.phase = phase;
+  return o;
+}
+
+Op end() { return Op{}; }
+
+}  // namespace ops
+}  // namespace remio::testbed::workload

@@ -1,0 +1,89 @@
+// The unit of a generated workload: one I/O-kernel operation, in the style
+// of the codes-workload op struct (load() / get_next(rank) streams ending in
+// a kEnd sentinel). A generator emits a per-rank stream of these; the shared
+// executor (workload/executor.hpp) runs them against the full SemplarFile ->
+// cache -> AsyncEngine -> StreamPool stack on the simnet testbed, so every
+// workload — the paper's figures and any registered generator — flows
+// through ONE op-execution loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace remio::testbed::workload {
+
+enum class OpKind : std::uint8_t {
+  kOpen = 0,   // open Op::path into file slot Op::file with Op::mode
+  kClose,      // drain pending, snapshot the slot's spans, close it
+  kRead,       // file-pointer read of Op::bytes
+  kWrite,      // file-pointer write (append-style) of Op::bytes
+  kReadAt,     // explicit-offset read
+  kWriteAt,    // explicit-offset write
+  kFlush,      // drain pending async ops, then FileHandle::flush
+  kBarrier,    // collective barrier (every rank's stream must match)
+  kCompute,    // modelled computation of Op::seconds (Testbed::compute)
+  kDrain,      // wait for all outstanding async requests of this rank
+  kPhaseMark,  // drain + barrier + stamp sim_now into ExecResult::marks[user]
+  kUser,       // generator-provided hook (MPI dialogs, compression pipes)
+  kEnd,        // sentinel: this rank's stream is over (repeats forever)
+  kCount
+};
+
+const char* op_kind_name(OpKind k);
+
+/// PhaseTimer attribution while the op executes. kDefault maps by kind:
+/// kCompute -> compute, I/O verbs (read/write/flush/drain) -> io, the
+/// rest -> none. kUser ops usually want an explicit phase (a halo exchange
+/// belongs to the compute phase; a master/worker dialog to neither).
+enum class OpPhase : std::uint8_t { kDefault = 0, kNone, kCompute, kIo };
+
+struct Op {
+  OpKind kind = OpKind::kEnd;
+  std::int32_t file = 0;     // file slot this op addresses
+  std::uint64_t offset = 0;  // kReadAt / kWriteAt
+  std::uint64_t bytes = 0;   // I/O verbs
+  double seconds = 0.0;      // kCompute
+  std::uint32_t mode = 0;    // kOpen: mpiio::ModeFlags
+  std::int32_t user = -1;    // kUser hook index / kPhaseMark segment id
+  bool async = false;        // I/O verbs: issue as iread/iwrite (bounded window)
+  OpPhase phase = OpPhase::kDefault;
+  std::string path;  // kOpen
+  /// kWrite/kWriteAt payload. Null = the executor fills a deterministic
+  /// per-rank pattern buffer. Shared so one buffer serves many ops.
+  std::shared_ptr<const Bytes> data;
+  /// kRead/kReadAt expected contents; non-null makes the executor verify the
+  /// read-back (throws IoError on mismatch) — how run_perf checks integrity.
+  std::shared_ptr<const Bytes> expect;
+};
+
+/// Deep equality (payloads compare by contents) — what "bit-identical op
+/// stream" means in the determinism tests.
+bool operator==(const Op& a, const Op& b);
+inline bool operator!=(const Op& a, const Op& b) { return !(a == b); }
+
+// --- tiny builders so generator code reads like a script --------------------
+
+namespace ops {
+
+Op open(std::int32_t slot, std::string path, std::uint32_t mode);
+Op close(std::int32_t slot = 0);
+Op read_at(std::int32_t slot, std::uint64_t offset, std::uint64_t bytes,
+           bool async = false);
+Op write_at(std::int32_t slot, std::uint64_t offset, std::uint64_t bytes,
+            bool async = false);
+Op read_fp(std::int32_t slot, std::uint64_t bytes, bool async = false);
+Op write_fp(std::int32_t slot, std::uint64_t bytes, bool async = false);
+Op flush(std::int32_t slot = 0);
+Op barrier();
+Op compute(double seconds);
+Op drain();
+Op phase_mark(std::int32_t segment);
+Op user(std::int32_t hook, OpPhase phase = OpPhase::kNone);
+Op end();
+
+}  // namespace ops
+
+}  // namespace remio::testbed::workload

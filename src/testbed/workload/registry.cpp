@@ -1,0 +1,85 @@
+#include "testbed/workload/registry.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "testbed/workload/daly.hpp"
+#include "testbed/workload/extsort.hpp"
+#include "testbed/workload/replay.hpp"
+#include "testbed/workload/ycsb.hpp"
+
+namespace remio::testbed::workload {
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  bool builtins_done = false;
+  std::map<std::string, GeneratorFactory> factories;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+void register_locked(Registry& r, const std::string& name, GeneratorFactory f) {
+  if (!r.factories.emplace(name, std::move(f)).second)
+    throw std::invalid_argument("workload registry: duplicate generator name '" +
+                                name + "'");
+}
+
+// Built-ins register lazily on first registry use, not via static-init
+// self-registration: these objects live in a static library, and the linker
+// is free to drop translation units nothing references.
+void ensure_builtins_locked(Registry& r) {
+  if (r.builtins_done) return;
+  r.builtins_done = true;
+  register_locked(r, "ycsb", &make_ycsb);
+  register_locked(r, "daly", &make_daly);
+  register_locked(r, "extsort", &make_extsort);
+  register_locked(r, "replay", &make_replay);
+}
+
+}  // namespace
+
+void register_generator(const std::string& name, GeneratorFactory factory) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_builtins_locked(r);
+  register_locked(r, name, std::move(factory));
+}
+
+std::unique_ptr<WorkloadGenerator> make_generator(const std::string& name) {
+  GeneratorFactory factory;
+  {
+    auto& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    ensure_builtins_locked(r);
+    const auto it = r.factories.find(name);
+    if (it == r.factories.end()) {
+      std::string known;
+      for (const auto& [k, v] : r.factories) {
+        if (!known.empty()) known += ", ";
+        known += k;
+      }
+      throw std::invalid_argument("workload registry: unknown generator '" +
+                                  name + "' (known: " + known + ")");
+    }
+    factory = it->second;
+  }
+  return factory();
+}
+
+std::vector<std::string> registered_generators() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_builtins_locked(r);
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [k, v] : r.factories) names.push_back(k);
+  return names;
+}
+
+}  // namespace remio::testbed::workload

@@ -1,0 +1,28 @@
+// Name -> generator factory registry: `workload_driver --workload=<name>`
+// and the tests select generators through here. The four built-ins (ycsb,
+// daly, extsort, replay) are always present; external code can register
+// more (duplicate names throw).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "testbed/workload/generator.hpp"
+
+namespace remio::testbed::workload {
+
+using GeneratorFactory = std::function<std::unique_ptr<WorkloadGenerator>()>;
+
+/// Throws std::invalid_argument if `name` is already registered.
+void register_generator(const std::string& name, GeneratorFactory factory);
+
+/// Throws std::invalid_argument listing the known names when `name` is not
+/// registered.
+std::unique_ptr<WorkloadGenerator> make_generator(const std::string& name);
+
+/// Sorted names, built-ins included.
+std::vector<std::string> registered_generators();
+
+}  // namespace remio::testbed::workload

@@ -1,0 +1,167 @@
+#include "testbed/workload/replay.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "mpiio/adio.hpp"
+#include "obs/trace_export.hpp"
+
+namespace remio::testbed::workload {
+namespace {
+
+// Application-level request spans become replayed ops; transport-level spans
+// (kTask, kWire, cache activity, ...) are effects of those requests and are
+// skipped so the replay does not double-issue work.
+bool is_replayable(obs::SpanKind k) {
+  switch (k) {
+    case obs::SpanKind::kSyncRead:
+    case obs::SpanKind::kIread:
+    case obs::SpanKind::kSyncWrite:
+    case obs::SpanKind::kIwrite:
+    case obs::SpanKind::kCompute:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<obs::Span> load_spans(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::invalid_argument("replay: cannot open trace: " + path);
+  return obs::read_chrome_trace(f);  // throws std::runtime_error on bad JSON
+}
+
+class ReplayGenerator final : public ScriptedGenerator {
+ public:
+  std::string name() const override { return "replay"; }
+
+  void load(const WorkloadParams& p) override {
+    const std::string trace = p.get("trace");
+    const bool replay_compute = p.get_bool("compute", true);
+    WorkloadParams::require(!trace.empty(), "replay",
+                            "--trace=<chrome-trace.json> is required");
+    WorkloadParams::require(p.ranks >= 1, "replay", "ranks must be >= 1");
+
+    std::vector<obs::Span> spans = load_spans(trace);
+    spans.erase(std::remove_if(spans.begin(), spans.end(),
+                               [](const obs::Span& s) {
+                                 return !is_replayable(s.kind);
+                               }),
+                spans.end());
+    for (const obs::Span& s : spans)
+      WorkloadParams::require(
+          static_cast<int>(s.rank) < p.ranks, "replay",
+          "trace mentions rank " + std::to_string(s.rank) +
+              " but loaded for " + std::to_string(p.ranks) + " ranks");
+    // Replay order per rank = issue order: by enqueue timestamp, op_id as
+    // the deterministic tie-break.
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const obs::Span& a, const obs::Span& b) {
+                       if (a.rank != b.rank) return a.rank < b.rank;
+                       if (a.enqueue != b.enqueue) return a.enqueue < b.enqueue;
+                       return a.op_id < b.op_id;
+                     });
+
+    reset_scripts(p.ranks);
+    std::size_t cursor = 0;
+    for (int r = 0; r < p.ranks; ++r) {
+      auto& sc = mutable_script(r);
+      const std::size_t first = cursor;
+      std::uint64_t extent = 0;
+      while (cursor < spans.size() &&
+             static_cast<int>(spans[cursor].rank) == r)
+        extent += spans[cursor++].bytes;
+
+      using namespace mpiio;
+      sc.push_back(ops::open(
+          0, "/wk/replay.rank" + std::to_string(r),
+          kModeRead | kModeWrite | kModeCreate | kModeTrunc));
+      // Spans carry no offsets, so each rank replays at a sequential cursor
+      // into its own file; preload the whole extent so replayed reads land on
+      // real data. Preload happens before mark 0 and is excluded from the
+      // replayed-op histogram.
+      constexpr std::uint64_t kPreloadChunk = 1 << 20;
+      for (std::uint64_t off = 0; off < extent; off += kPreloadChunk)
+        sc.push_back(ops::write_at(0, off,
+                                   std::min(kPreloadChunk, extent - off),
+                                   /*async=*/true));
+      sc.push_back(ops::drain());
+      sc.push_back(ops::phase_mark(0));
+
+      std::uint64_t off = 0;
+      for (std::size_t i = first; i < cursor; ++i) {
+        const obs::Span& s = spans[i];
+        switch (s.kind) {
+          case obs::SpanKind::kSyncRead:
+            sc.push_back(ops::read_at(0, off, s.bytes, /*async=*/false));
+            off += s.bytes;
+            break;
+          case obs::SpanKind::kIread:
+            sc.push_back(ops::read_at(0, off, s.bytes, /*async=*/true));
+            off += s.bytes;
+            break;
+          case obs::SpanKind::kSyncWrite:
+            sc.push_back(ops::write_at(0, off, s.bytes, /*async=*/false));
+            off += s.bytes;
+            break;
+          case obs::SpanKind::kIwrite:
+            sc.push_back(ops::write_at(0, off, s.bytes, /*async=*/true));
+            off += s.bytes;
+            break;
+          case obs::SpanKind::kCompute:
+            if (replay_compute && s.latency() > 0.0)
+              sc.push_back(ops::compute(s.latency()));
+            break;
+          default:
+            break;
+        }
+      }
+      sc.push_back(ops::drain());
+      sc.push_back(ops::phase_mark(1));
+      sc.push_back(ops::close(0));
+      sc.push_back(ops::end());
+    }
+  }
+};
+
+}  // namespace
+
+std::map<OpKind, OpTally> replay_histogram_from_trace(
+    const std::vector<obs::Span>& spans) {
+  std::map<OpKind, OpTally> hist;
+  for (const obs::Span& s : spans) {
+    switch (s.kind) {
+      case obs::SpanKind::kSyncRead:
+      case obs::SpanKind::kIread:
+        hist[OpKind::kReadAt].count += 1;
+        hist[OpKind::kReadAt].bytes += s.bytes;
+        break;
+      case obs::SpanKind::kSyncWrite:
+      case obs::SpanKind::kIwrite:
+        hist[OpKind::kWriteAt].count += 1;
+        hist[OpKind::kWriteAt].bytes += s.bytes;
+        break;
+      case obs::SpanKind::kCompute:
+        if (s.latency() > 0.0) hist[OpKind::kCompute].count += 1;
+        break;
+      default:
+        break;
+    }
+  }
+  return hist;
+}
+
+int trace_rank_count(const std::string& path) {
+  const std::vector<obs::Span> spans = load_spans(path);
+  int max_rank = 0;
+  for (const obs::Span& s : spans)
+    max_rank = std::max(max_rank, static_cast<int>(s.rank));
+  return max_rank + 1;
+}
+
+std::unique_ptr<WorkloadGenerator> make_replay() {
+  return std::make_unique<ReplayGenerator>();
+}
+
+}  // namespace remio::testbed::workload

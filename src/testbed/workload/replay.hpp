@@ -1,0 +1,53 @@
+// Trace-replay generator: parses a Chrome trace-event JSON exported by
+// src/obs/trace_export (any --trace=... artifact from the fig/ablation
+// benches or workload_driver) back into a per-rank op stream, so any
+// captured run becomes a reproducible benchmark.
+//
+// Mapping (application-level request spans only; transport-level kTask /
+// kWire / cache spans are effects, not inputs, and are skipped):
+//   kSyncRead  -> kReadAt            kIread  -> kReadAt  (async)
+//   kSyncWrite -> kWriteAt           kIwrite -> kWriteAt (async)
+//   kCompute   -> kCompute of the span's duration
+// Spans are ordered per rank by their enqueue timestamp. Offsets are not
+// recorded in spans, so each rank replays at a sequential per-rank cursor —
+// the op-kind/byte histogram and issue order are preserved exactly, data
+// placement is synthetic. Reads are made meaningful by materializing the
+// read extent into the rank's file before the timed phase begins.
+//
+// Params:
+//   trace     path to the Chrome trace JSON (required)
+//   compute   replay kCompute spans as modelled compute (default 1)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "testbed/workload/generator.hpp"
+
+namespace remio::testbed::workload {
+
+struct OpTally {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+inline bool operator==(const OpTally& a, const OpTally& b) {
+  return a.count == b.count && a.bytes == b.bytes;
+}
+
+/// The op-kind/byte histogram a faithful replay of `spans` must reproduce
+/// (application-level spans only, per the mapping above). Used by the
+/// round-trip property test and the driver report.
+std::map<OpKind, OpTally> replay_histogram_from_trace(
+    const std::vector<obs::Span>& spans);
+
+/// Ranks mentioned in a trace file (max rank + 1); lets the driver size the
+/// testbed before load(). Throws on unreadable/malformed traces.
+int trace_rank_count(const std::string& path);
+
+std::unique_ptr<WorkloadGenerator> make_replay();
+
+}  // namespace remio::testbed::workload

@@ -1,0 +1,98 @@
+#include "testbed/workload/ycsb.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "mpiio/adio.hpp"
+#include "testbed/workload/zipfian.hpp"
+
+namespace remio::testbed::workload {
+namespace {
+
+constexpr const char* kPath = "/wk/ycsb.dat";
+
+class YcsbGenerator final : public ScriptedGenerator {
+ public:
+  std::string name() const override { return "ycsb"; }
+
+  void load(const WorkloadParams& p) override {
+    const auto records = static_cast<std::uint64_t>(p.get_int("records", 2048));
+    const auto record_bytes =
+        static_cast<std::uint64_t>(p.get_int("record-kb", 4)) * 1024;
+    const long long ops_per_rank = p.get_int("ops", 512);
+    const long long read_pct = p.get_int("read-pct", 50);
+    const long long update_pct = p.get_int("update-pct", 45);
+    const long long scan_pct = p.get_int("scan-pct", 5);
+    const auto scan_max = static_cast<std::uint64_t>(p.get_int("scan-max", 16));
+    const double theta = p.get_double("theta", 0.99);
+    const bool scramble = p.get_bool("scramble", true);
+    const double think_s = p.get_double("think-ms", 0.0) / 1e3;
+
+    WorkloadParams::require(p.ranks >= 1, "ycsb", "ranks must be >= 1");
+    WorkloadParams::require(records >= static_cast<std::uint64_t>(p.ranks),
+                            "ycsb", "--records must be >= the rank count");
+    WorkloadParams::require(record_bytes > 0, "ycsb", "--record-kb must be > 0");
+    WorkloadParams::require(ops_per_rank >= 0, "ycsb", "--ops must be >= 0");
+    WorkloadParams::require(
+        read_pct >= 0 && update_pct >= 0 && scan_pct >= 0 &&
+            read_pct + update_pct + scan_pct == 100,
+        "ycsb", "--read-pct + --update-pct + --scan-pct must sum to 100");
+    WorkloadParams::require(scan_max >= 1, "ycsb", "--scan-max must be >= 1");
+    WorkloadParams::require(think_s >= 0.0, "ycsb", "--think-ms must be >= 0");
+
+    const Zipfian zipf(records, theta);  // validates theta
+    reset_scripts(p.ranks);
+    for (int r = 0; r < p.ranks; ++r) {
+      auto& s = mutable_script(r);
+      emit_shared_open(s, r, 0, kPath);
+
+      // Load phase: this rank inserts its contiguous partition of the
+      // keyspace, then everyone syncs at mark 0 so the operate phase can be
+      // timed on its own.
+      const std::uint64_t lo = records * static_cast<std::uint64_t>(r) /
+                               static_cast<std::uint64_t>(p.ranks);
+      const std::uint64_t hi = records * (static_cast<std::uint64_t>(r) + 1) /
+                               static_cast<std::uint64_t>(p.ranks);
+      for (std::uint64_t k = lo; k < hi; ++k)
+        s.push_back(ops::write_at(0, k * record_bytes, record_bytes,
+                                  /*async=*/true));
+      s.push_back(ops::drain());
+      s.push_back(ops::phase_mark(0));
+
+      // Operate phase: zipfian-popular keys, scrambled so hot keys are not
+      // physically adjacent in the file.
+      Rng rng(rank_seed(p.seed, r));
+      for (long long i = 0; i < ops_per_rank; ++i) {
+        if (think_s > 0.0) s.push_back(ops::compute(think_s));
+        const std::uint64_t pick = zipf.sample(rng);
+        const std::uint64_t key =
+            scramble ? Zipfian::scramble(pick) % records : pick;
+        const auto roll = static_cast<long long>(rng.below(100));
+        if (roll < read_pct) {
+          s.push_back(ops::read_at(0, key * record_bytes, record_bytes,
+                                   /*async=*/true));
+        } else if (roll < read_pct + update_pct) {
+          s.push_back(ops::write_at(0, key * record_bytes, record_bytes,
+                                    /*async=*/true));
+        } else {
+          const std::uint64_t want = 1 + rng.below(scan_max);
+          const std::uint64_t len = std::min(want, records - key);
+          s.push_back(ops::read_at(0, key * record_bytes, len * record_bytes,
+                                   /*async=*/true));
+        }
+      }
+      s.push_back(ops::drain());
+      s.push_back(ops::phase_mark(1));
+      s.push_back(ops::close(0));
+      s.push_back(ops::end());
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WorkloadGenerator> make_ycsb() {
+  return std::make_unique<YcsbGenerator>();
+}
+
+}  // namespace remio::testbed::workload

@@ -1,0 +1,28 @@
+// YCSB-style key/value workload over one shared remote file: a load phase
+// (every rank inserts its partition of the keyspace), then an operate phase
+// mixing reads, updates, and scans whose keys come from a zipfian
+// popularity distribution mapped to (offset, len) record slices.
+//
+// Params (all --key=value strings):
+//   records      keyspace size in records               (default 2048)
+//   record-kb    record size in KiB                     (default 4)
+//   ops          operate-phase ops per rank             (default 512)
+//   read-pct     % of ops that read one record          (default 50)
+//   update-pct   % of ops that rewrite one record       (default 45)
+//   scan-pct     % of ops that scan a key range         (default 5)
+//   scan-max     max records per scan                   (default 16)
+//   theta        zipfian skew in [0,1)                  (default 0.99)
+//   scramble     FNV-scatter hot keys across the file   (default 1)
+//   think-ms     modelled compute between ops, ms       (default 0)
+//   window       async requests in flight per rank      (executor knob; see driver)
+#pragma once
+
+#include <memory>
+
+#include "testbed/workload/generator.hpp"
+
+namespace remio::testbed::workload {
+
+std::unique_ptr<WorkloadGenerator> make_ycsb();
+
+}  // namespace remio::testbed::workload

@@ -1,0 +1,72 @@
+// Zipfian key sampler (Gray et al., "Quickly Generating Billion-Record
+// Synthetic Databases" — the algorithm YCSB's ZipfianGenerator uses): draws
+// keys in [0, n) where the k-th most popular key has probability
+// proportional to 1 / (k+1)^theta. theta in [0, 1); YCSB's default 0.99.
+//
+// Construction is O(n) (computes zeta(n, theta) once); sampling is O(1) and
+// driven entirely by the caller's Rng, so streams are deterministic per seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace remio::testbed::workload {
+
+class Zipfian {
+ public:
+  Zipfian(std::uint64_t n, double theta = 0.99) : n_(n), theta_(theta) {
+    if (n == 0) throw std::invalid_argument("Zipfian: n must be > 0");
+    if (theta < 0.0 || theta >= 1.0)
+      throw std::invalid_argument("Zipfian: theta must be in [0, 1)");
+    zetan_ = zeta(n, theta);
+    zeta2_ = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  /// Key 0 is the hottest, key 1 the second-hottest, and so on.
+  std::uint64_t sample(Rng& rng) const {
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto k = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return k >= n_ ? n_ - 1 : k;
+  }
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// 64-bit FNV-1a: scatters the popularity ranking across the keyspace so
+  /// hot keys are not physically adjacent (YCSB's "scrambled" flavour).
+  static std::uint64_t scramble(std::uint64_t key) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < 8; ++i) {
+      h ^= (key >> (8 * i)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i)
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace remio::testbed::workload

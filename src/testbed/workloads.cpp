@@ -2,89 +2,35 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bio/synth.hpp"
+#include "compress/codec.hpp"
 #include "core/semplar.hpp"
 #include "obs/analyzer.hpp"
-#include "obs/tracer.hpp"
-#include "simnet/timescale.hpp"
-#include "testbed/phase.hpp"
+#include "testbed/workload/executor.hpp"
+#include "testbed/workload/generator.hpp"
+
+// The paper's four benchmarks, expressed as WorkloadGenerator op streams and
+// executed by the ONE shared op-execution loop in workload/executor.cpp.
+// Sim-time behaviour is op-for-op identical to the original hand-rolled
+// loops: same issue order, same wait placement (the executor's
+// max_outstanding == 1 window IS Fig. 4's wait-then-issue), same barrier and
+// phase-timer transitions.
 
 namespace remio::testbed {
 namespace {
+
+namespace wk = workload;
 
 constexpr int kTagHaloDown = 100;
 constexpr int kTagHaloUp = 101;
 constexpr int kTagBlastRequest = 200;
 constexpr int kTagBlastWork = 201;
-
-/// Gathers per-rank phase timers, traces, and the job's wall (sim) time.
-struct JobClock {
-  std::mutex mu;
-  std::vector<PhaseTimer> timers;
-  std::vector<std::vector<obs::Span>> rank_traces;  // rank-tagged snapshots
-  double t_start = 0.0;
-  double t_end = 0.0;
-
-  void record(const PhaseTimer& t) {
-    std::lock_guard lk(mu);
-    timers.push_back(t);
-  }
-
-  /// Stashes one rank's tracer snapshot, tagged with the rank. The overlap
-  /// analysis runs in result(), once the job's timed window is known.
-  void record_trace(int rank, std::vector<obs::Span> s) {
-    if (s.empty()) return;
-    for (auto& sp : s) sp.rank = static_cast<std::uint16_t>(rank);
-    std::lock_guard lk(mu);
-    rank_traces.push_back(std::move(s));
-  }
-
-  RunResult result() const {
-    RunResult r;
-    r.exec = t_end - t_start;
-    if (!timers.empty()) {
-      for (const auto& t : timers) {
-        r.compute_phase += t.compute_seconds();
-        r.io_phase += t.io_seconds();
-        r.expected_overlap += t.max_overlap_expected();
-      }
-      const auto n = static_cast<double>(timers.size());
-      r.compute_phase /= n;
-      r.io_phase /= n;
-      r.expected_overlap /= n;
-    }
-    if (!rank_traces.empty()) {
-      // Per-rank analysis (the paper's §7.1 numbers are per-process), over
-      // the job's barrier-to-barrier window so serial setup/teardown counts
-      // against the achieved fraction — like dividing by wall time.
-      for (const auto& trace : rank_traces) {
-        const obs::OverlapReport rep =
-            t_end > t_start ? obs::ObsAnalyzer(trace).analyze(t_start, t_end)
-                            : obs::ObsAnalyzer(trace).analyze();
-        r.span_overlap_achieved += rep.achieved_of_max;
-        r.span_compute_busy += rep.compute_busy;
-        r.span_io_busy += rep.io_busy;
-        r.spans.insert(r.spans.end(), trace.begin(), trace.end());
-      }
-      const auto n = static_cast<double>(rank_traces.size());
-      r.span_overlap_achieved /= n;
-      r.span_compute_busy /= n;
-      r.span_io_busy /= n;
-    }
-    return r;
-  }
-};
-
-/// The file's tracer snapshot, or empty when obs is off. Must run before
-/// File::close(), which destroys the handle (and with it the tracer).
-std::vector<obs::Span> snapshot_spans(mpiio::File& file) {
-  if (obs::Tracer* t = file.handle().tracer()) return t->snapshot();
-  return {};
-}
 
 void halo_exchange(mpi::Comm& comm, ByteSpan halo) {
   const int r = comm.rank();
@@ -108,364 +54,425 @@ std::pair<std::uint64_t, std::size_t> rank_slice(std::uint64_t total, int rank,
   return {offset, len};
 }
 
-}  // namespace
+RunResult to_run_result(wk::ExecResult&& r) {
+  RunResult out;
+  out.exec = r.exec;
+  out.compute_phase = r.compute_phase;
+  out.io_phase = r.io_phase;
+  out.expected_overlap = r.expected_overlap;
+  out.bytes_written = r.bytes_written;
+  out.bytes_read = r.bytes_read;
+  out.span_overlap_achieved = r.span_overlap_achieved;
+  out.span_compute_busy = r.span_compute_busy;
+  out.span_io_busy = r.span_io_busy;
+  out.spans = std::move(r.spans);
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // 2-D Laplace solver with periodic checkpoints (Fig. 4)
 // ---------------------------------------------------------------------------
 
-RunResult run_laplace(Testbed& tb, int procs, const LaplaceParams& p) {
-  if (procs < 1 || procs > tb.node_count())
-    throw std::invalid_argument("run_laplace: bad proc count");
+class LaplaceGenerator final : public wk::ScriptedGenerator {
+ public:
+  LaplaceGenerator(const LaplaceParams& p, int procs, double compute_per_iter) {
+    reset_scripts(procs);
+    halos_.resize(static_cast<std::size_t>(procs));
+    for (int r = 0; r < procs; ++r) {
+      auto& s = mutable_script(r);
+      const auto [offset, len] = rank_slice(p.checkpoint_bytes, r, procs);
+      const auto ckpt =
+          std::make_shared<Bytes>(len, static_cast<char>('A' + r % 26));
+      halos_[static_cast<std::size_t>(r)] =
+          std::make_shared<Bytes>(p.halo_bytes, static_cast<char>(r));
 
-  JobClock clock;
-  const double compute_per_iter =
-      p.compute_total /
-      (static_cast<double>(p.checkpoints) * p.iters_per_checkpoint * procs);
-
-  mpi::RunOptions opts;
-  opts.transport = tb.mpi_transport();
-
-  mpi::run(procs, [&](mpi::Comm& comm) {
-    const int r = comm.rank();
-    const auto [offset, len] = rank_slice(p.checkpoint_bytes, r, procs);
-
-    // Pre-spawned one thread per stream for multi-stream runs (§7.2);
-    // lazy single thread otherwise (§7.1).
-    const int io_threads = (p.async && p.streams > 1) ? p.streams : 0;
-    semplar::Config cfg = tb.semplar_config(r, p.streams, io_threads);
-    cfg.cache_bytes = p.cache_bytes;
-    cfg.writeback_hwm = p.writeback_hwm;
-    semplar::SrbfsDriver driver(tb.fabric(), cfg);
-
-    if (r == 0) {
-      mpiio::File create(driver, p.path,
-                         mpiio::kModeWrite | mpiio::kModeCreate | mpiio::kModeTrunc);
-      create.close();
-    }
-    comm.barrier();
-    mpiio::File file(driver, p.path, mpiio::kModeRead | mpiio::kModeWrite);
-
-    Bytes checkpoint(len, static_cast<char>('A' + r % 26));
-    Bytes halo(p.halo_bytes, static_cast<char>(r));
-
-    comm.barrier();
-    if (r == 0) clock.t_start = simnet::sim_now();
-
-    PhaseTimer timer;
-    if (p.collect_spans) timer.bind(file.handle().tracer());
-    mpiio::IoRequest pending;
-    for (int c = 0; c < p.checkpoints; ++c) {
-      timer.enter(Phase::kCompute);
-      for (int it = 0; it < p.iters_per_checkpoint; ++it) {
-        tb.compute(compute_per_iter);
-        if (p.wait == WaitPlacement::kBeforeComm && pending.valid()) {
-          // Fig. 4 position 2: drain remote I/O before touching the
-          // interconnect, so the two never share the node's I/O bus.
-          timer.enter(Phase::kIo);
-          pending.wait();
-          pending = mpiio::IoRequest();
-          timer.enter(Phase::kCompute);
+      wk::emit_shared_open(s, r, 0, p.path);
+      s.push_back(wk::ops::phase_mark(0));
+      for (int c = 0; c < p.checkpoints; ++c) {
+        for (int it = 0; it < p.iters_per_checkpoint; ++it) {
+          s.push_back(wk::ops::compute(compute_per_iter));
+          if (p.wait == WaitPlacement::kBeforeComm && p.async && c > 0 &&
+              it == 0) {
+            // Fig. 4 position 2: drain remote I/O before touching the
+            // interconnect, so the two never share the node's I/O bus. The
+            // previous checkpoint's request is in flight exactly here.
+            wk::Op d = wk::ops::drain();
+            d.phase = wk::OpPhase::kIo;
+            s.push_back(d);
+          }
+          s.push_back(wk::ops::user(0, wk::OpPhase::kCompute));  // halo
         }
-        halo_exchange(comm, ByteSpan(halo.data(), halo.size()));
+        // Fig. 4 position 1 lives in the executor: async issue past the
+        // 1-deep window first waits for the previous checkpoint's request.
+        wk::Op w = wk::ops::write_at(0, offset, len, p.async);
+        w.data = ckpt;
+        s.push_back(w);
       }
-
-      timer.enter(Phase::kIo);
-      if (p.async) {
-        if (pending.valid()) pending.wait();  // Fig. 4 position 1
-        pending = file.iwrite_at(offset, ByteSpan(checkpoint.data(), checkpoint.size()));
-      } else {
-        file.write_at(offset, ByteSpan(checkpoint.data(), checkpoint.size()));
-      }
-      timer.enter(Phase::kNone);
+      s.push_back(wk::ops::drain());
+      s.push_back(wk::ops::flush(0));  // land write-behind spans in the trace
+      s.push_back(wk::ops::close(0));
+      s.push_back(wk::ops::end());
     }
+  }
 
-    timer.enter(Phase::kIo);
-    if (pending.valid()) pending.wait();
-    file.flush();  // push write-behind out now so its spans land in the trace
-    timer.stop();  // flush the final I/O-wait span while the tracer lives
-    if (p.collect_spans) clock.record_trace(r, snapshot_spans(file));
-    file.close();
+  std::string name() const override { return "fig-laplace"; }
+  void load(const wk::WorkloadParams&) override {}  // scripted by ctor
 
-    comm.barrier();
-    if (r == 0) clock.t_end = simnet::sim_now();
-    clock.record(timer);
-  },
-           opts);
+  std::vector<std::function<void(wk::UserCtx&)>> hooks() override {
+    return {[this](wk::UserCtx& ctx) {
+      Bytes& h = *halos_[static_cast<std::size_t>(ctx.rank)];
+      halo_exchange(ctx.comm, ByteSpan(h.data(), h.size()));
+    }};
+  }
 
-  RunResult result = clock.result();
-  result.bytes_written =
-      static_cast<std::uint64_t>(p.checkpoint_bytes) * static_cast<std::uint64_t>(p.checkpoints);
-  return result;
-}
+ private:
+  std::vector<std::shared_ptr<Bytes>> halos_;
+};
 
 // ---------------------------------------------------------------------------
 // MPI-BLAST master/worker (Fig. 5)
 // ---------------------------------------------------------------------------
 
-RunResult run_mpi_blast(Testbed& tb, int procs, const BlastParams& p) {
-  if (procs < 2 || procs > tb.node_count())
-    throw std::invalid_argument("run_mpi_blast: needs 2..nodes procs");
+/// Reactive (not scripted): each worker's stream depends on the queries the
+/// master hands it at run time, so get_next is a small per-rank state
+/// machine around the request/reply dialog hooks.
+class BlastGenerator final : public wk::WorkloadGenerator {
+ public:
+  BlastGenerator(const BlastParams& p, int procs) : p_(p) {
+    state_.assign(static_cast<std::size_t>(procs), State::kInit);
+    next_query_.assign(static_cast<std::size_t>(procs), 0);
+    report_ = std::make_shared<Bytes>(p.report_bytes, static_cast<char>('Q'));
+  }
 
-  JobClock clock;
-  std::atomic<std::uint64_t> bytes_written{0};
+  std::string name() const override { return "fig-blast"; }
+  void load(const wk::WorkloadParams&) override {}
 
-  mpi::RunOptions opts;
-  opts.transport = tb.mpi_transport();
-
-  mpi::run(procs, [&](mpi::Comm& comm) {
-    const int r = comm.rank();
-
-    // Workers connect and open their output files before the job's timed
-    // window starts (like mpirun launching an already-initialized binary).
-    std::unique_ptr<semplar::SrbfsDriver> driver;
-    std::unique_ptr<mpiio::File> file;
-    if (r != 0) {
-      driver = std::make_unique<semplar::SrbfsDriver>(tb.fabric(), tb.semplar_config(r));
-      file = std::make_unique<mpiio::File>(
-          *driver, p.path_prefix + ".rank" + std::to_string(r),
-          mpiio::kModeWrite | mpiio::kModeCreate | mpiio::kModeTrunc);
-    }
-    comm.barrier();
-    if (r == 0) clock.t_start = simnet::sim_now();
-
-    if (r == 0) {
-      // Master: hand out query indices on request; -1 terminates a worker.
-      int assigned = 0;
-      int done_workers = 0;
-      while (done_workers < comm.size() - 1) {
-        const mpi::Message m = comm.recv(mpi::kAnySource, kTagBlastRequest);
-        if (assigned < p.queries) {
-          comm.send_value(m.src, kTagBlastWork, assigned++);
-        } else {
-          comm.send_value(m.src, kTagBlastWork, -1);
-          ++done_workers;
-        }
+  wk::Op get_next(int rank) override {
+    auto& st = state_[static_cast<std::size_t>(rank)];
+    if (rank == 0) {  // master: serve queries, never touches a file
+      switch (st) {
+        case State::kInit:
+          st = State::kRequest;
+          return wk::ops::phase_mark(0);
+        case State::kRequest:
+          st = State::kDone;
+          return wk::ops::user(kHookServe);
+        default:
+          return wk::ops::end();
       }
-    } else {
-      const Bytes report(p.report_bytes, static_cast<char>('Q'));
-
-      PhaseTimer timer;
-      if (p.collect_spans) timer.bind(file->handle().tracer());
-      mpiio::IoRequest pending;
-      for (;;) {
-        comm.send_value(0, kTagBlastRequest, r);
-        const int query = comm.recv_value<int>(0, kTagBlastWork);
-        if (query < 0) break;
-
-        timer.enter(Phase::kCompute);
-        tb.compute(p.compute_per_query);
-
-        timer.enter(Phase::kIo);
-        if (p.async) {
-          if (pending.valid()) pending.wait();
-          pending = file->iwrite(ByteSpan(report.data(), report.size()));
-        } else {
-          file->write(ByteSpan(report.data(), report.size()));
-        }
-        bytes_written += report.size();
-        timer.enter(Phase::kNone);
-      }
-      timer.enter(Phase::kIo);
-      if (pending.valid()) pending.wait();
-      timer.stop();
-      if (p.collect_spans) clock.record_trace(r, snapshot_spans(*file));
-      file->close();
-      clock.record(timer);
     }
+    switch (st) {
+      case State::kInit:
+        // Workers open their output files before the job's timed window
+        // starts (like mpirun launching an already-initialized binary).
+        st = State::kMark;
+        return wk::ops::open(
+            0, p_.path_prefix + ".rank" + std::to_string(rank),
+            mpiio::kModeWrite | mpiio::kModeCreate | mpiio::kModeTrunc);
+      case State::kMark:
+        st = State::kRequest;
+        return wk::ops::phase_mark(0);
+      case State::kRequest:
+        st = State::kDispatch;
+        return wk::ops::user(kHookRequest);
+      case State::kDispatch:
+        if (next_query_[static_cast<std::size_t>(rank)] >= 0) {
+          st = State::kWrite;
+          return wk::ops::compute(p_.compute_per_query);
+        }
+        st = State::kClose;
+        return wk::ops::drain();  // final wait happens in the I/O phase
+      case State::kWrite: {
+        st = State::kRequest;
+        wk::Op w = wk::ops::write_fp(0, p_.report_bytes, p_.async);
+        w.data = report_;
+        return w;
+      }
+      case State::kClose:
+        st = State::kDone;
+        return wk::ops::close(0);
+      case State::kDone:
+        break;
+    }
+    return wk::ops::end();
+  }
 
-    comm.barrier();
-    if (r == 0) clock.t_end = simnet::sim_now();
-  },
-           opts);
+  std::vector<std::function<void(wk::UserCtx&)>> hooks() override {
+    return {
+        // kHookServe: master hands out query indices on request; -1
+        // terminates a worker.
+        [this](wk::UserCtx& ctx) {
+          int assigned = 0;
+          int done_workers = 0;
+          while (done_workers < ctx.comm.size() - 1) {
+            const mpi::Message m = ctx.comm.recv(mpi::kAnySource, kTagBlastRequest);
+            if (assigned < p_.queries) {
+              ctx.comm.send_value(m.src, kTagBlastWork, assigned++);
+            } else {
+              ctx.comm.send_value(m.src, kTagBlastWork, -1);
+              ++done_workers;
+            }
+          }
+        },
+        // kHookRequest: one worker request/reply round.
+        [this](wk::UserCtx& ctx) {
+          ctx.comm.send_value(0, kTagBlastRequest, ctx.rank);
+          next_query_[static_cast<std::size_t>(ctx.rank)] =
+              ctx.comm.recv_value<int>(0, kTagBlastWork);
+        },
+    };
+  }
 
-  RunResult result = clock.result();
-  result.bytes_written = bytes_written.load();
-  return result;
-}
+ private:
+  enum class State { kInit, kMark, kRequest, kDispatch, kWrite, kClose, kDone };
+  static constexpr std::int32_t kHookServe = 0;
+  static constexpr std::int32_t kHookRequest = 1;
+
+  BlastParams p_;
+  std::vector<State> state_;       // per-rank, touched only by that rank
+  std::vector<int> next_query_;
+  std::shared_ptr<const Bytes> report_;
+};
 
 // ---------------------------------------------------------------------------
 // ROMIO perf (Fig. 8): fixed-offset shared-file write then read-back
 // ---------------------------------------------------------------------------
 
-PerfResult run_perf(Testbed& tb, int procs, const PerfParams& p) {
-  if (procs < 1 || procs > tb.node_count())
-    throw std::invalid_argument("run_perf: bad proc count");
+class PerfGenerator final : public wk::ScriptedGenerator {
+ public:
+  PerfGenerator(const PerfParams& p, int procs) {
+    reset_scripts(procs);
+    for (int r = 0; r < procs; ++r) {
+      auto& s = mutable_script(r);
+      const std::uint64_t offset =
+          static_cast<std::uint64_t>(r) * p.array_bytes;
+      auto out = std::make_shared<Bytes>(p.array_bytes);
+      for (std::size_t i = 0; i < out->size(); ++i)
+        (*out)[i] =
+            static_cast<char>((i + static_cast<std::size_t>(r) * 131) & 0xff);
 
-  std::mutex mu;
-  double write_time = 0.0;
-  double read_time = 0.0;
-  double t_mark = 0.0;
-  std::vector<obs::Span> all_spans;
-
-  mpi::RunOptions opts;
-  opts.transport = tb.mpi_transport();
-
-  mpi::run(procs, [&](mpi::Comm& comm) {
-    const int r = comm.rank();
-    const std::uint64_t offset = static_cast<std::uint64_t>(r) * p.array_bytes;
-
-    const int io_threads = p.io_threads > 0 ? p.io_threads : p.streams;
-    semplar::Config cfg = tb.semplar_config(r, p.streams, io_threads);
-    cfg.cache_bytes = p.cache_bytes;
-    cfg.readahead_blocks = p.readahead_blocks;
-    cfg.writeback_hwm = p.writeback_hwm;
-    semplar::SrbfsDriver driver(tb.fabric(), cfg);
-    if (r == 0) {
-      mpiio::File create(driver, p.path,
-                         mpiio::kModeWrite | mpiio::kModeCreate | mpiio::kModeTrunc);
-      create.close();
+      wk::emit_shared_open(s, r, 0, p.path);
+      // Write phase between marks 0 and 1, read-back between 1 and 2; each
+      // kPhaseMark is the original's wait -> barrier -> timestamp sequence.
+      s.push_back(wk::ops::phase_mark(0));
+      wk::Op w = wk::ops::write_at(0, offset, p.array_bytes, /*async=*/true);
+      w.data = out;
+      s.push_back(w);
+      s.push_back(wk::ops::drain());
+      s.push_back(wk::ops::phase_mark(1));
+      wk::Op rd = wk::ops::read_at(0, offset, p.array_bytes, /*async=*/true);
+      if (p.verify) rd.expect = out;
+      s.push_back(rd);
+      s.push_back(wk::ops::drain());
+      s.push_back(wk::ops::phase_mark(2));
+      s.push_back(wk::ops::close(0));
+      s.push_back(wk::ops::end());
     }
-    comm.barrier();
-    mpiio::File file(driver, p.path, mpiio::kModeRead | mpiio::kModeWrite);
-
-    Bytes out(p.array_bytes);
-    for (std::size_t i = 0; i < out.size(); ++i)
-      out[i] = static_cast<char>((i + static_cast<std::size_t>(r) * 131) & 0xff);
-
-    // --- write phase (each process writes at its rank's fixed location) ---
-    comm.barrier();
-    if (r == 0) t_mark = simnet::sim_now();
-    mpiio::IoRequest wreq = file.iwrite_at(offset, ByteSpan(out.data(), out.size()));
-    wreq.wait();
-    comm.barrier();
-    if (r == 0) {
-      std::lock_guard lk(mu);
-      write_time = simnet::sim_now() - t_mark;
-    }
-
-    // --- read phase (data is read back) -----------------------------------
-    Bytes in(p.array_bytes);
-    comm.barrier();
-    if (r == 0) t_mark = simnet::sim_now();
-    mpiio::IoRequest rreq = file.iread_at(offset, MutByteSpan(in.data(), in.size()));
-    const std::size_t got = rreq.wait();
-    comm.barrier();
-    if (r == 0) {
-      std::lock_guard lk(mu);
-      read_time = simnet::sim_now() - t_mark;
-    }
-
-    if (p.verify) {
-      if (got != in.size() || in != out)
-        throw mpiio::IoError("perf: read-back mismatch on rank " + std::to_string(r));
-    }
-    if (p.collect_spans) {
-      std::vector<obs::Span> s = snapshot_spans(file);
-      for (auto& sp : s) sp.rank = static_cast<std::uint16_t>(r);
-      std::lock_guard lk(mu);
-      all_spans.insert(all_spans.end(), s.begin(), s.end());
-    }
-    file.close();
-  },
-           opts);
-
-  PerfResult result;
-  const double total = static_cast<double>(p.array_bytes) * procs;
-  if (write_time > 0) result.write_bw = total / write_time;
-  if (read_time > 0) result.read_bw = total / read_time;
-  if (!all_spans.empty()) {
-    // Per-stream wire occupancy for one representative rank (streams are
-    // per-file connections, so mixing ranks would conflate different TCP
-    // streams that happen to share an index).
-    std::vector<obs::Span> rank0;
-    for (const auto& s : all_spans)
-      if (s.rank == 0) rank0.push_back(s);
-    result.stream_util = obs::ObsAnalyzer(std::move(rank0)).analyze().streams;
-    result.spans = std::move(all_spans);
   }
-  return result;
-}
+
+  std::string name() const override { return "fig-perf"; }
+  void load(const wk::WorkloadParams&) override {}
+};
 
 // ---------------------------------------------------------------------------
 // On-the-fly compression (Fig. 9)
 // ---------------------------------------------------------------------------
 
+class CompressGenerator final : public wk::ScriptedGenerator {
+ public:
+  CompressGenerator(const CompressParams& p, int procs) : p_(p) {
+    reset_scripts(procs);
+    pipes_.resize(static_cast<std::size_t>(procs));
+    texts_.resize(static_cast<std::size_t>(procs));
+    for (int r = 0; r < procs; ++r) {
+      // Each task ships a nucleotide text to its own remote object (§7.3).
+      // Genome size tunes the text's self-similarity so lzmini lands at the
+      // ~2x ratio real LZO achieved on GenBank EST text.
+      bio::SynthConfig synth;
+      synth.seed = 1000 + static_cast<std::uint64_t>(r);
+      synth.genome_length = 384 * 1024;
+      bio::EstGenerator gen(synth);
+      const auto ri = static_cast<std::size_t>(r);
+      texts_[ri] = gen.nucleotide_text(p.data_bytes);
+      const std::string& text = texts_[ri];
+
+      auto& s = mutable_script(r);
+      s.push_back(wk::ops::open(0, p.path_prefix + ".rank" + std::to_string(r),
+                                mpiio::kModeRead | mpiio::kModeWrite |
+                                    mpiio::kModeCreate | mpiio::kModeTrunc));
+      s.push_back(wk::ops::phase_mark(0));
+      if (p.async_compressed) {
+        // Blocks flow through a CompressPipe stacked on the file handle; the
+        // hook reads the block's [offset, bytes) straight off the op.
+        for (std::size_t off = 0; off < text.size(); off += p.block_bytes) {
+          wk::Op u = wk::ops::user(kHookPipeWrite, wk::OpPhase::kIo);
+          u.offset = off;
+          u.bytes = std::min(p.block_bytes, text.size() - off);
+          s.push_back(u);
+        }
+        s.push_back(wk::ops::user(kHookPipeFinish, wk::OpPhase::kIo));
+      } else {
+        for (std::size_t off = 0; off < text.size(); off += p.block_bytes) {
+          const std::size_t n = std::min(p.block_bytes, text.size() - off);
+          wk::Op w = wk::ops::write_at(0, off, n);
+          w.data = std::make_shared<Bytes>(text.data() + off,
+                                           text.data() + off + n);
+          s.push_back(w);
+        }
+        raw_total_ += text.size();
+        wire_total_ += text.size();
+      }
+      s.push_back(wk::ops::flush(0));
+      s.push_back(wk::ops::phase_mark(1));
+      if (p.verify && p.async_compressed)
+        s.push_back(wk::ops::user(kHookVerify));  // after timing, like the
+                                                  // original
+      s.push_back(wk::ops::close(0));
+      s.push_back(wk::ops::end());
+    }
+  }
+
+  std::string name() const override { return "fig-compress"; }
+  void load(const wk::WorkloadParams&) override {}
+
+  std::vector<std::function<void(wk::UserCtx&)>> hooks() override {
+    return {
+        // kHookPipeWrite
+        [this](wk::UserCtx& ctx) {
+          const auto ri = static_cast<std::size_t>(ctx.rank);
+          auto& pipe = pipes_[ri];
+          if (!pipe)
+            pipe = std::make_unique<semplar::CompressPipe>(
+                ctx.file(0)->handle(), compress::codec_by_name(p_.codec));
+          pipe->write(ByteSpan(texts_[ri].data() + ctx.op.offset,
+                               static_cast<std::size_t>(ctx.op.bytes)));
+        },
+        // kHookPipeFinish
+        [this](wk::UserCtx& ctx) {
+          const auto ri = static_cast<std::size_t>(ctx.rank);
+          pipes_[ri]->finish();
+          const auto st = pipes_[ri]->stats();
+          raw_total_ += st.raw_bytes;
+          wire_total_ += st.wire_bytes;
+          pipes_[ri].reset();  // release the handle before kClose
+        },
+        // kHookVerify
+        [this](wk::UserCtx& ctx) {
+          const auto ri = static_cast<std::size_t>(ctx.rank);
+          const Bytes round =
+              semplar::read_all_decompressed(ctx.file(0)->handle());
+          if (std::string_view(round.data(), round.size()) != texts_[ri])
+            throw mpiio::IoError("compress: round-trip mismatch on rank " +
+                                 std::to_string(ctx.rank));
+        },
+    };
+  }
+
+  std::uint64_t raw_total() const { return raw_total_.load(); }
+  std::uint64_t wire_total() const { return wire_total_.load(); }
+
+ private:
+  static constexpr std::int32_t kHookPipeWrite = 0;
+  static constexpr std::int32_t kHookPipeFinish = 1;
+  static constexpr std::int32_t kHookVerify = 2;
+
+  CompressParams p_;
+  std::vector<std::string> texts_;
+  std::vector<std::unique_ptr<semplar::CompressPipe>> pipes_;  // per rank
+  std::atomic<std::uint64_t> raw_total_{0};
+  std::atomic<std::uint64_t> wire_total_{0};
+};
+
+}  // namespace
+
+RunResult run_laplace(Testbed& tb, int procs, const LaplaceParams& p) {
+  if (procs < 1 || procs > tb.node_count())
+    throw std::invalid_argument("run_laplace: bad proc count");
+
+  const double compute_per_iter =
+      p.compute_total /
+      (static_cast<double>(p.checkpoints) * p.iters_per_checkpoint * procs);
+  LaplaceGenerator gen(p, procs, compute_per_iter);
+
+  wk::ExecOptions eo;
+  eo.procs = procs;
+  eo.streams = p.streams;
+  // Pre-spawned one thread per stream for multi-stream runs (§7.2); lazy
+  // single thread otherwise (§7.1).
+  eo.io_threads = (p.async && p.streams > 1) ? p.streams : 0;
+  eo.cache_bytes = p.cache_bytes;
+  eo.writeback_hwm = p.writeback_hwm;
+  eo.collect_spans = p.collect_spans;
+  return to_run_result(wk::execute(tb, gen, eo));
+}
+
+RunResult run_mpi_blast(Testbed& tb, int procs, const BlastParams& p) {
+  if (procs < 2 || procs > tb.node_count())
+    throw std::invalid_argument("run_mpi_blast: needs 2..nodes procs");
+
+  BlastGenerator gen(p, procs);
+  wk::ExecOptions eo;
+  eo.procs = procs;
+  eo.collect_spans = p.collect_spans;
+  return to_run_result(wk::execute(tb, gen, eo));
+}
+
+PerfResult run_perf(Testbed& tb, int procs, const PerfParams& p) {
+  if (procs < 1 || procs > tb.node_count())
+    throw std::invalid_argument("run_perf: bad proc count");
+
+  PerfGenerator gen(p, procs);
+  wk::ExecOptions eo;
+  eo.procs = procs;
+  eo.streams = p.streams;
+  eo.io_threads = p.io_threads > 0 ? p.io_threads : p.streams;
+  eo.cache_bytes = p.cache_bytes;
+  eo.readahead_blocks = p.readahead_blocks;
+  eo.writeback_hwm = p.writeback_hwm;
+  eo.collect_spans = p.collect_spans;
+  eo.use_phase_timer = false;  // perf never phase-timed
+  wk::ExecResult r = wk::execute(tb, gen, eo);
+
+  PerfResult result;
+  const double total = static_cast<double>(p.array_bytes) * procs;
+  const double write_time =
+      r.marks.size() > 1 ? r.marks[1] - r.marks[0] : 0.0;
+  const double read_time = r.marks.size() > 2 ? r.marks[2] - r.marks[1] : 0.0;
+  if (write_time > 0) result.write_bw = total / write_time;
+  if (read_time > 0) result.read_bw = total / read_time;
+  if (!r.spans.empty()) {
+    // Per-stream wire occupancy for one representative rank (streams are
+    // per-file connections, so mixing ranks would conflate different TCP
+    // streams that happen to share an index).
+    std::vector<obs::Span> rank0;
+    for (const auto& s : r.spans)
+      if (s.rank == 0) rank0.push_back(s);
+    result.stream_util = obs::ObsAnalyzer(std::move(rank0)).analyze().streams;
+    result.spans = std::move(r.spans);
+  }
+  return result;
+}
+
 CompressResult run_compress(Testbed& tb, int procs, const CompressParams& p) {
   if (procs < 1 || procs > tb.node_count())
     throw std::invalid_argument("run_compress: bad proc count");
 
-  std::mutex mu;
-  double elapsed = 0.0;
-  double t_mark = 0.0;
-  std::atomic<std::uint64_t> raw_total{0};
-  std::atomic<std::uint64_t> wire_total{0};
-  std::vector<obs::Span> all_spans;
-
-  mpi::RunOptions opts;
-  opts.transport = tb.mpi_transport();
-
-  mpi::run(procs, [&](mpi::Comm& comm) {
-    const int r = comm.rank();
-
-    // Each task reads a nucleotide text file and ships it to its own remote
-    // object (§7.3: individual file pointers, independent files).
-    // Genome size tunes the text's self-similarity so lzmini lands at the
-    // ~2x ratio real LZO achieved on GenBank EST text (§7.3).
-    bio::SynthConfig synth;
-    synth.seed = 1000 + static_cast<std::uint64_t>(r);
-    synth.genome_length = 384 * 1024;
-    bio::EstGenerator gen(synth);
-    const std::string text = gen.nucleotide_text(p.data_bytes);
-
-    semplar::SrbfsDriver driver(tb.fabric(), tb.semplar_config(r));
-    mpiio::File file(driver, p.path_prefix + ".rank" + std::to_string(r),
-                     mpiio::kModeRead | mpiio::kModeWrite | mpiio::kModeCreate |
-                         mpiio::kModeTrunc);
-
-    comm.barrier();
-    if (r == 0) t_mark = simnet::sim_now();
-
-    if (p.async_compressed) {
-      const auto& codec = compress::codec_by_name(p.codec);
-      semplar::CompressPipe pipe(file.handle(), codec);
-      for (std::size_t off = 0; off < text.size(); off += p.block_bytes) {
-        const std::size_t n = std::min(p.block_bytes, text.size() - off);
-        pipe.write(ByteSpan(text.data() + off, n));
-      }
-      pipe.finish();
-      const auto st = pipe.stats();
-      raw_total += st.raw_bytes;
-      wire_total += st.wire_bytes;
-    } else {
-      for (std::size_t off = 0; off < text.size(); off += p.block_bytes) {
-        const std::size_t n = std::min(p.block_bytes, text.size() - off);
-        file.write_at(off, ByteSpan(text.data() + off, n));
-      }
-      raw_total += text.size();
-      wire_total += text.size();
-    }
-    file.flush();
-
-    comm.barrier();
-    if (r == 0) {
-      std::lock_guard lk(mu);
-      elapsed = simnet::sim_now() - t_mark;
-    }
-
-    if (p.verify && p.async_compressed) {
-      const Bytes round = semplar::read_all_decompressed(file.handle());
-      if (std::string_view(round.data(), round.size()) != text)
-        throw mpiio::IoError("compress: round-trip mismatch on rank " +
-                             std::to_string(r));
-    }
-    if (p.collect_spans) {
-      std::vector<obs::Span> s = snapshot_spans(file);
-      for (auto& sp : s) sp.rank = static_cast<std::uint16_t>(r);
-      std::lock_guard lk(mu);
-      all_spans.insert(all_spans.end(), s.begin(), s.end());
-    }
-    file.close();
-  },
-           opts);
+  CompressGenerator gen(p, procs);
+  wk::ExecOptions eo;
+  eo.procs = procs;
+  eo.collect_spans = p.collect_spans;
+  eo.use_phase_timer = false;  // compress never phase-timed
+  wk::ExecResult r = wk::execute(tb, gen, eo);
 
   CompressResult result;
-  result.spans = std::move(all_spans);
+  result.spans = std::move(r.spans);
+  const double elapsed = r.marks.size() > 1 ? r.marks[1] - r.marks[0] : 0.0;
   if (elapsed > 0)
-    result.agg_write_bw = static_cast<double>(p.data_bytes) * procs / elapsed;
-  if (wire_total.load() > 0)
-    result.compression_ratio =
-        static_cast<double>(raw_total.load()) / static_cast<double>(wire_total.load());
+    result.agg_write_bw =
+        static_cast<double>(p.data_bytes) * procs / elapsed;
+  if (gen.wire_total() > 0)
+    result.compression_ratio = static_cast<double>(gen.raw_total()) /
+                               static_cast<double>(gen.wire_total());
   return result;
 }
 

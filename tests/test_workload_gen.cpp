@@ -1,0 +1,488 @@
+// The workload-generation subsystem (src/testbed/workload): determinism of
+// generated op streams, zipfian skew, Daly closed-form accounting, lifecycle
+// invariants for every registered generator, the replay round-trip property
+// (trace of a run -> replay reproduces its op-kind/byte histogram), and the
+// shared executor's integration with the testbed stack.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/trace_export.hpp"
+#include "simnet/timescale.hpp"
+#include "testbed/workload/daly.hpp"
+#include "testbed/workload/executor.hpp"
+#include "testbed/workload/registry.hpp"
+#include "testbed/workload/replay.hpp"
+#include "testbed/workload/ycsb.hpp"
+#include "testbed/workload/zipfian.hpp"
+#include "testbed/workloads.hpp"
+
+namespace remio::testbed::workload {
+namespace {
+
+// Small-but-representative params per registered generator, so table-driven
+// tests cover every name the registry knows.
+WorkloadParams small_params(const std::string& name, int ranks,
+                            std::uint64_t seed,
+                            const std::string& trace_path = "") {
+  WorkloadParams p;
+  p.ranks = ranks;
+  p.seed = seed;
+  if (name == "ycsb") {
+    p.kv = {{"records", "64"}, {"record-kb", "1"}, {"ops", "40"}};
+  } else if (name == "daly") {
+    p.kv = {{"chkpoint-mb", "1"},
+            {"chkpoint-bw-mbs", "4"},
+            {"runtime-s", "30"},
+            {"mtti-s", "200"}};
+  } else if (name == "extsort") {
+    p.kv = {{"data-mb", "2"}, {"mem-mb", "1"}, {"block-kb", "256"},
+            {"fanin", "2"}};
+  } else if (name == "replay") {
+    p.kv = {{"trace", trace_path}};
+  }
+  return p;
+}
+
+/// Drains rank `rank`'s stream up to (and excluding) kEnd. Fails the test if
+/// the stream does not terminate within a generous cap.
+std::vector<Op> drain_stream(WorkloadGenerator& gen, int rank) {
+  std::vector<Op> ops;
+  for (int i = 0; i < 200000; ++i) {
+    Op op = gen.get_next(rank);
+    if (op.kind == OpKind::kEnd) return ops;
+    ops.push_back(std::move(op));
+  }
+  ADD_FAILURE() << "stream for rank " << rank << " did not reach kEnd";
+  return ops;
+}
+
+/// A synthetic 2-rank trace with the four replayable span kinds, written as
+/// Chrome trace JSON. Returns the path.
+std::string write_synthetic_trace() {
+  std::vector<obs::Span> spans;
+  auto add = [&](std::uint16_t rank, obs::SpanKind kind, std::uint64_t bytes,
+                 double t0, double t1) {
+    obs::Span s;
+    s.op_id = spans.size() + 1;
+    s.kind = kind;
+    s.rank = rank;
+    s.bytes = bytes;
+    s.enqueue = s.dequeue = s.wire_start = t0;
+    s.wire_end = t1;
+    spans.push_back(s);
+  };
+  add(0, obs::SpanKind::kCompute, 0, 0.0, 0.5);
+  add(0, obs::SpanKind::kIwrite, 4096, 0.5, 0.9);
+  add(0, obs::SpanKind::kSyncRead, 2048, 1.0, 1.2);
+  add(1, obs::SpanKind::kSyncWrite, 1024, 0.1, 0.3);
+  add(1, obs::SpanKind::kIread, 512, 0.4, 0.6);
+  add(1, obs::SpanKind::kWire, 9999, 0.0, 1.0);  // transport span: skipped
+  const std::string path =
+      testing::TempDir() + "/workload_gen_synthetic_trace.json";
+  obs::dump_chrome_trace(path, spans);
+  return path;
+}
+
+// --- determinism ------------------------------------------------------------
+
+TEST(WorkloadGenDeterminism, SameSeedBitIdenticalStreams) {
+  const std::string trace = write_synthetic_trace();
+  for (const auto& name : registered_generators()) {
+    auto a = make_generator(name);
+    auto b = make_generator(name);
+    const WorkloadParams p = small_params(name, 2, 1234, trace);
+    a->load(p);
+    b->load(p);
+    for (int r = 0; r < p.ranks; ++r) {
+      const std::vector<Op> sa = drain_stream(*a, r);
+      const std::vector<Op> sb = drain_stream(*b, r);
+      ASSERT_EQ(sa.size(), sb.size()) << name << " rank " << r;
+      for (std::size_t i = 0; i < sa.size(); ++i)
+        ASSERT_TRUE(sa[i] == sb[i])
+            << name << " rank " << r << " op " << i << " ("
+            << op_kind_name(sa[i].kind) << " vs " << op_kind_name(sb[i].kind)
+            << ")";
+    }
+    // Stream stays ended.
+    EXPECT_EQ(a->get_next(0).kind, OpKind::kEnd);
+    EXPECT_EQ(a->get_next(0).kind, OpKind::kEnd);
+  }
+}
+
+TEST(WorkloadGenDeterminism, DifferentSeedChangesYcsbStream) {
+  auto a = make_generator("ycsb");
+  auto b = make_generator("ycsb");
+  a->load(small_params("ycsb", 1, 1));
+  b->load(small_params("ycsb", 1, 2));
+  const std::vector<Op> sa = drain_stream(*a, 0);
+  const std::vector<Op> sb = drain_stream(*b, 0);
+  bool differs = sa.size() != sb.size();
+  for (std::size_t i = 0; !differs && i < sa.size(); ++i)
+    differs = !(sa[i] == sb[i]);
+  EXPECT_TRUE(differs) << "seed change did not alter the ycsb op stream";
+}
+
+TEST(WorkloadGenDeterminism, RankSeedDecorrelates) {
+  EXPECT_NE(rank_seed(42, 0), rank_seed(42, 1));
+  EXPECT_NE(rank_seed(42, 0), rank_seed(43, 0));
+  EXPECT_EQ(rank_seed(42, 3), rank_seed(42, 3));
+  EXPECT_NE(rank_seed(42, 0, 0), rank_seed(42, 0, 1));
+}
+
+// --- zipfian ----------------------------------------------------------------
+
+TEST(ZipfianTest, SkewConcentratesOnHotKeys) {
+  const std::uint64_t n = 1000;
+  Zipfian z(n, 0.99);
+  Rng rng(7);
+  std::vector<std::uint64_t> counts(n, 0);
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) counts[z.sample(rng)]++;
+
+  // Key 0 is the hottest by a wide margin.
+  const std::uint64_t top = *std::max_element(counts.begin(), counts.end());
+  EXPECT_EQ(top, counts[0]);
+  EXPECT_GT(counts[0], counts[n / 2] * 10);
+
+  // The hottest 10% of keys draw well over half the samples (for theta=0.99
+  // and n=1000 the true mass is ~80%; assert a loose lower bound).
+  std::uint64_t head = 0;
+  for (std::uint64_t k = 0; k < n / 10; ++k) head += counts[k];
+  EXPECT_GT(static_cast<double>(head), 0.5 * kSamples);
+
+  // Every key is reachable in principle; the tail is rare but present.
+  std::uint64_t tail = 0;
+  for (std::uint64_t k = n / 2; k < n; ++k) tail += counts[k];
+  EXPECT_GT(tail, 0u);
+}
+
+TEST(ZipfianTest, ValidatesArguments) {
+  EXPECT_THROW(Zipfian(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(Zipfian(10, 1.0), std::invalid_argument);
+  EXPECT_THROW(Zipfian(10, -0.1), std::invalid_argument);
+  EXPECT_NO_THROW(Zipfian(10, 0.0));
+}
+
+TEST(ZipfianTest, ScrambleScattersDistinctKeys) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t k = 0; k < 1000; ++k) seen.insert(Zipfian::scramble(k));
+  EXPECT_EQ(seen.size(), 1000u);  // FNV-1a collisions over 1000 keys: none
+}
+
+// --- daly closed form -------------------------------------------------------
+
+TEST(DalyTest, ClosedFormMatchesGeneratedOps) {
+  const double chkpoint_mb = 1.0, bw = 4.0, runtime = 30.0, mtti = 200.0;
+  const double delta = chkpoint_mb / bw;
+  const double tau = std::sqrt(2.0 * delta * mtti) - delta;
+  EXPECT_NEAR(daly_optimum_interval(delta, mtti), tau, 1e-12);
+  const auto n = static_cast<std::uint64_t>(std::floor(runtime / (tau + delta)));
+  ASSERT_GE(n, 1u);
+  EXPECT_EQ(daly_checkpoint_count(runtime, tau, delta), n);
+
+  const int ranks = 3;
+  auto gen = make_generator("daly");
+  gen->load(small_params("daly", ranks, 9));
+  const auto total = static_cast<std::uint64_t>(chkpoint_mb * 1024 * 1024);
+  std::uint64_t written = 0;
+  for (int r = 0; r < ranks; ++r) {
+    const std::vector<Op> s = drain_stream(*gen, r);
+    std::uint64_t writes = 0;
+    double computed = 0.0;
+    for (const Op& op : s) {
+      if (op.kind == OpKind::kWriteAt) {
+        ++writes;
+        written += op.bytes;
+      }
+      if (op.kind == OpKind::kCompute) computed += op.seconds;
+    }
+    // One striped write and one tau-long compute per cycle, per rank.
+    EXPECT_EQ(writes, n) << "rank " << r;
+    EXPECT_NEAR(computed, static_cast<double>(n) * tau, 1e-9) << "rank " << r;
+  }
+  // The stripes tile the checkpoint exactly, every cycle.
+  EXPECT_EQ(written, n * total);
+}
+
+TEST(DalyTest, ClosedFormValidatesInputs) {
+  EXPECT_THROW(daly_optimum_interval(0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(daly_optimum_interval(10.0, -1.0), std::invalid_argument);
+  // MTTI so small the interval goes non-positive.
+  EXPECT_THROW(daly_optimum_interval(10.0, 1.0), std::invalid_argument);
+  EXPECT_EQ(daly_checkpoint_count(1.0, 10.0, 1.0), 1u);  // at least one
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(WorkloadRegistry, BuiltinsPresentAndSorted) {
+  const auto names = registered_generators();
+  for (const char* want : {"ycsb", "daly", "extsort", "replay"})
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
+        << want;
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(WorkloadRegistry, UnknownNameThrowsListingKnown) {
+  try {
+    make_generator("no-such-generator");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ycsb"), std::string::npos);
+  }
+}
+
+TEST(WorkloadRegistry, DuplicateRegistrationThrows) {
+  EXPECT_THROW(register_generator("ycsb", &make_ycsb), std::invalid_argument);
+}
+
+// --- params -----------------------------------------------------------------
+
+TEST(WorkloadParamsTest, TypedGettersValidate) {
+  WorkloadParams p;
+  p.kv = {{"n", "12"}, {"x", "2.5"}, {"flag", "0"}, {"junk", "abc"}};
+  EXPECT_EQ(p.get_int("n", 0), 12);
+  EXPECT_EQ(p.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(p.get_double("x", 0.0), 2.5);
+  EXPECT_FALSE(p.get_bool("flag", true));
+  EXPECT_THROW(p.get_int("junk", 0), std::invalid_argument);
+  EXPECT_THROW(WorkloadParams::require(false, "t", "boom"),
+               std::invalid_argument);
+  EXPECT_NO_THROW(WorkloadParams::require(true, "t", "fine"));
+}
+
+TEST(WorkloadParamsTest, GeneratorsRejectBadParams) {
+  auto ycsb = make_generator("ycsb");
+  WorkloadParams p = small_params("ycsb", 2, 1);
+  p.kv["read-pct"] = "90";
+  p.kv["update-pct"] = "90";  // sums over 100
+  EXPECT_THROW(ycsb->load(p), std::invalid_argument);
+
+  auto replay = make_generator("replay");
+  EXPECT_THROW(replay->load(small_params("replay", 1, 1, "")),
+               std::invalid_argument);
+  EXPECT_THROW(replay->load(small_params("replay", 1, 1, "/no/such/file")),
+               std::invalid_argument);
+
+  auto extsort = make_generator("extsort");
+  WorkloadParams e = small_params("extsort", 1, 1);
+  e.kv["mem-mb"] = "99";  // larger than data-mb
+  EXPECT_THROW(extsort->load(e), std::invalid_argument);
+}
+
+// --- lifecycle invariants for every registered generator --------------------
+
+TEST(WorkloadLifecycle, EveryGeneratorSatisfiesStreamInvariants) {
+  const std::string trace = write_synthetic_trace();
+  const int ranks = 2;
+  for (const auto& name : registered_generators()) {
+    auto gen = make_generator(name);
+    gen->load(small_params(name, ranks, 77, trace));
+
+    std::vector<std::vector<Op>> streams;
+    for (int r = 0; r < ranks; ++r) streams.push_back(drain_stream(*gen, r));
+
+    std::vector<std::vector<std::pair<OpKind, std::int32_t>>> collectives(
+        static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      std::set<std::int32_t> open;
+      for (const Op& op : streams[static_cast<std::size_t>(r)]) {
+        switch (op.kind) {
+          case OpKind::kOpen:
+            EXPECT_EQ(open.count(op.file), 0u)
+                << name << ": double open of slot " << op.file;
+            EXPECT_FALSE(op.path.empty()) << name << ": open without a path";
+            open.insert(op.file);
+            break;
+          case OpKind::kClose:
+            EXPECT_EQ(open.count(op.file), 1u)
+                << name << ": close of unopened slot " << op.file;
+            open.erase(op.file);
+            break;
+          case OpKind::kRead:
+          case OpKind::kWrite:
+          case OpKind::kReadAt:
+          case OpKind::kWriteAt:
+          case OpKind::kFlush:
+            EXPECT_EQ(open.count(op.file), 1u)
+                << name << ": " << op_kind_name(op.kind)
+                << " on closed slot " << op.file;
+            break;
+          case OpKind::kCompute:
+            EXPECT_GE(op.seconds, 0.0);
+            break;
+          case OpKind::kBarrier:
+          case OpKind::kPhaseMark:
+            collectives[static_cast<std::size_t>(r)].emplace_back(op.kind,
+                                                                  op.user);
+            break;
+          default:
+            break;
+        }
+      }
+      EXPECT_TRUE(open.empty())
+          << name << ": rank " << r << " ended with open files";
+      EXPECT_EQ(gen->get_next(r).kind, OpKind::kEnd)
+          << name << ": kEnd does not repeat";
+    }
+    // Collective ops (barriers / phase marks) must line up across ranks.
+    for (int r = 1; r < ranks; ++r)
+      EXPECT_EQ(collectives[0], collectives[static_cast<std::size_t>(r)])
+          << name << ": rank " << r << " collective sequence diverges";
+  }
+}
+
+// --- replay histogram helpers -----------------------------------------------
+
+TEST(ReplayTest, HistogramAndRankCountFromTrace) {
+  const std::string path = write_synthetic_trace();
+  EXPECT_EQ(trace_rank_count(path), 2);
+
+  std::ifstream f(path);
+  const auto spans = obs::read_chrome_trace(f);
+  const auto hist = replay_histogram_from_trace(spans);
+  EXPECT_EQ(hist.at(OpKind::kReadAt).count, 2u);
+  EXPECT_EQ(hist.at(OpKind::kReadAt).bytes, 2048u + 512u);
+  EXPECT_EQ(hist.at(OpKind::kWriteAt).count, 2u);
+  EXPECT_EQ(hist.at(OpKind::kWriteAt).bytes, 4096u + 1024u);
+  EXPECT_EQ(hist.at(OpKind::kCompute).count, 1u);
+
+  EXPECT_THROW(trace_rank_count("/no/such/trace.json"),
+               std::invalid_argument);
+}
+
+/// Histogram of the *replayed* portion of a generator's streams: ops after
+/// each rank's first kPhaseMark (everything before it is preload).
+std::map<OpKind, OpTally> generated_histogram(WorkloadGenerator& gen,
+                                              int ranks) {
+  std::map<OpKind, OpTally> hist;
+  for (int r = 0; r < ranks; ++r) {
+    bool past_mark = false;
+    for (const Op& op : drain_stream(gen, r)) {
+      if (op.kind == OpKind::kPhaseMark) {
+        past_mark = true;
+        continue;
+      }
+      if (!past_mark) continue;
+      if (op.kind == OpKind::kReadAt || op.kind == OpKind::kWriteAt ||
+          op.kind == OpKind::kCompute) {
+        hist[op.kind].count += 1;
+        hist[op.kind].bytes += op.bytes;
+      }
+    }
+  }
+  return hist;
+}
+
+// The round-trip property at the heart of the replay generator: trace a real
+// run of the paper's Fig. 7 workload, replay the trace, and the replayed op
+// stream reproduces the trace's op-kind/byte histogram exactly.
+TEST(ReplayTest, RoundTripReproducesLaplaceHistogram) {
+  simnet::ScopedTimeScale scale(300.0);
+  LaplaceParams p;
+  p.checkpoint_bytes = 1u << 20;
+  p.checkpoints = 2;
+  p.iters_per_checkpoint = 2;
+  p.compute_total = 0.8;
+  p.halo_bytes = 4 * 1024;
+  p.async = true;
+  RunResult run;
+  {
+    Testbed tb(das2(), 2);
+    run = run_laplace(tb, 2, p);
+  }
+  ASSERT_FALSE(run.spans.empty()) << "laplace run produced no spans";
+
+  const std::string path = testing::TempDir() + "/laplace_roundtrip.json";
+  obs::dump_chrome_trace(path, run.spans);
+
+  ASSERT_EQ(trace_rank_count(path), 2);
+  auto gen = make_generator("replay");
+  gen->load(small_params("replay", 2, 1, path));
+  const auto replayed = generated_histogram(*gen, 2);
+
+  std::ifstream f(path);
+  const auto expected = replay_histogram_from_trace(obs::read_chrome_trace(f));
+  EXPECT_FALSE(expected.empty());
+  EXPECT_GT(expected.at(OpKind::kWriteAt).count, 0u);
+  ASSERT_EQ(replayed.size(), expected.size());
+  for (const auto& [kind, tally] : expected) {
+    ASSERT_TRUE(replayed.count(kind)) << op_kind_name(kind);
+    EXPECT_EQ(replayed.at(kind).count, tally.count) << op_kind_name(kind);
+    if (kind != OpKind::kCompute) {
+      EXPECT_EQ(replayed.at(kind).bytes, tally.bytes) << op_kind_name(kind);
+    }
+  }
+}
+
+// --- executor integration ---------------------------------------------------
+
+TEST(WorkloadExecutorTest, YcsbRunsThroughFullStack) {
+  simnet::ScopedTimeScale scale(300.0);
+  auto gen = make_generator("ycsb");
+  WorkloadParams p = small_params("ycsb", 2, 5);
+  gen->load(p);
+
+  Testbed tb(das2(), 2);
+  ExecOptions eo;
+  eo.procs = 2;
+  const ExecResult r = execute(tb, *gen, eo);
+
+  EXPECT_GT(r.exec, 0.0);
+  EXPECT_EQ(r.marks.size(), 2u);  // load-phase mark + operate-phase mark
+  // 64 records x 1 KiB load phase lands in the store.
+  EXPECT_EQ(tb.server().store().total_bytes(), 64u * 1024u);
+  EXPECT_GE(r.bytes_written, 64u * 1024u);
+  // Tallies come from actual completions: bytes accounted per kind add up.
+  EXPECT_EQ(r.bytes(OpKind::kReadAt) + r.bytes(OpKind::kRead), r.bytes_read);
+  EXPECT_EQ(r.bytes(OpKind::kWriteAt) + r.bytes(OpKind::kWrite),
+            r.bytes_written);
+  // Both ranks opened, wrote, read, closed.
+  EXPECT_GE(r.ops(OpKind::kOpen), 2u);
+  EXPECT_EQ(r.ops(OpKind::kOpen), r.ops(OpKind::kClose));
+  EXPECT_GT(r.ops(OpKind::kReadAt), 0u);
+  EXPECT_GT(r.ops(OpKind::kWriteAt), 0u);
+  EXPECT_FALSE(r.spans.empty());
+}
+
+TEST(WorkloadExecutorTest, DalyAccountsBytesAndMarks) {
+  simnet::ScopedTimeScale scale(300.0);
+  auto gen = make_generator("daly");
+  WorkloadParams p = small_params("daly", 2, 5);
+  gen->load(p);
+
+  Testbed tb(das2(), 2);
+  ExecOptions eo;
+  eo.procs = 2;
+  const ExecResult r = execute(tb, *gen, eo);
+
+  EXPECT_GT(r.exec, 0.0);
+  EXPECT_GT(r.compute_phase, 0.0);
+  EXPECT_GT(r.io_phase, 0.0);
+  // Every checkpoint cycle writes the full stripe set.
+  EXPECT_EQ(r.bytes_written % (1u << 20), 0u);
+  EXPECT_GE(r.bytes_written, 1u << 20);
+  EXPECT_EQ(tb.server().store().total_bytes(), 1u << 20);
+}
+
+TEST(WorkloadExecutorTest, RejectsBadProcCountAndUnknownRank) {
+  simnet::ScopedTimeScale scale(300.0);
+  auto gen = make_generator("ycsb");
+  gen->load(small_params("ycsb", 2, 5));
+  EXPECT_THROW(gen->get_next(5), std::out_of_range);
+
+  Testbed tb(das2(), 2);
+  ExecOptions eo;
+  eo.procs = 99;  // more ranks than testbed nodes
+  EXPECT_THROW(execute(tb, *gen, eo), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace remio::testbed::workload
