@@ -1,16 +1,96 @@
 // §4.3 ablation: how many dedicated I/O threads should serve how many TCP
 // streams? The paper argues the ideal is one thread per stream — threads
 // sharing a single stream serialize on it, and fewer threads than streams
-// leave connections idle.
+// leave connections idle. The grid runs past the paper's sweet spot on
+// purpose: the rows beyond io-threads == streams document the plateau (and
+// catch any regression that turns it into a decline).
+//
+// Alongside aggregate bandwidth the table reports the p99 task queue
+// residency (enqueue -> first dequeue of the engine's kTask spans): thread
+// counts below the stream count show up as queue buildup long before they
+// show up as lost bandwidth, so residency is the sharper ablation signal.
 //
 // Usage: ablation_iothreads [--cluster=tg] [--procs=2] [--scale=400] [--csv]
+//                           [--json=PATH]
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "common/bench_json.hpp"
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
 #include "testbed/harness.hpp"
 #include "testbed/workloads.hpp"
 
 using namespace remio;
 using namespace remio::testbed;
+
+namespace {
+
+struct Cell {
+  int streams = 0;
+  int io_threads = 0;
+  double write_bw = 0.0;       // aggregate bytes per sim-second
+  double read_bw = 0.0;
+  double resid_mean_us = 0.0;  // kTask queue residency, sim-time
+  double resid_p99_us = 0.0;
+  std::uint64_t tasks = 0;
+};
+
+Cell run_cell(const ClusterSpec& cluster, int procs, int streams,
+              int io_threads) {
+  Testbed tb(cluster, procs);
+  PerfParams p;
+  p.array_bytes = 2u << 20;
+  p.streams = streams;
+  p.io_threads = io_threads;
+  const PerfResult r = run_perf(tb, procs, p);
+
+  obs::Histogram resid;
+  for (const obs::Span& s : r.spans) {
+    if (s.kind != obs::SpanKind::kTask) continue;
+    if (s.dequeue < 0.0 || s.enqueue < 0.0) continue;
+    const double w = s.queue_wait();
+    if (w >= 0.0) resid.record(w);
+  }
+  Cell c;
+  c.streams = streams;
+  c.io_threads = io_threads;
+  c.write_bw = r.write_bw;
+  c.read_bw = r.read_bw;
+  c.resid_mean_us = resid.mean() * 1e6;
+  c.resid_p99_us = resid.quantile(0.99) * 1e6;
+  c.tasks = resid.count();
+  return c;
+}
+
+// Stable fields first (grid shape, task counts gate the baseline diff);
+// bandwidth and residency are timing-dependent and diffed warn-only.
+std::string ablation_json(const std::string& cluster, int procs,
+                          const std::vector<Cell>& cells) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("ablation_iothreads");
+  w.key("cluster").value(cluster);
+  w.key("procs").value(procs);
+  w.key("cells").begin_array();
+  for (const Cell& c : cells) {
+    w.begin_object();
+    w.key("streams").value(c.streams);
+    w.key("io_threads").value(c.io_threads);
+    w.key("tasks").value(c.tasks);
+    w.key("write_bw_mb_s").value(c.write_bw / 1e6);
+    w.key("read_bw_mb_s").value(c.read_bw / 1e6);
+    w.key("residency_mean_us").value(c.resid_mean_us);
+    w.key("residency_p99_us").value(c.resid_p99_us);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);
@@ -18,21 +98,22 @@ int main(int argc, char** argv) {
   const ClusterSpec cluster = cluster_by_name(opts.get("cluster", "tg"));
   const int procs = static_cast<int>(opts.get_int("procs", 2));
 
-  Table table({"streams", "io-threads", "agg-write-MB/sim-s"});
-  for (const int streams : {1, 2, 4}) {
-    for (const int threads : {1, 2, 4}) {
-      Testbed tb(cluster, procs);
-      PerfParams p;
-      p.array_bytes = 2u << 20;
-      p.streams = streams;
-      p.io_threads = threads;
-      const auto r = run_perf(tb, procs, p);
+  std::vector<Cell> cells;
+  Table table({"streams", "io-threads", "agg-write-MB/sim-s", "resid-p99-us"});
+  for (const int streams : {1, 2, 4, 8}) {
+    for (const int threads : {1, 2, 4, 8}) {
+      const Cell c = run_cell(cluster, procs, streams, threads);
       table.add_row({std::to_string(streams), std::to_string(threads),
-                     Table::num(r.write_bw / 1e6, 2)});
+                     Table::num(c.write_bw / 1e6, 2),
+                     Table::num(c.resid_p99_us, 2)});
+      cells.push_back(c);
     }
   }
   emit(opts, "Ablation: I/O threads x TCP streams (" + cluster.name + ")", table);
   std::printf("expectation: bandwidth grows with streams only while io-threads >= "
-              "streams; extra threads beyond the stream count buy nothing (§4.3).\n");
+              "streams; extra threads beyond the stream count buy nothing (§4.3). "
+              "Undersized thread counts also surface as p99 queue residency.\n");
+  if (opts.has("json"))
+    write_json_file(opts.get("json"), ablation_json(cluster.name, procs, cells));
   return 0;
 }

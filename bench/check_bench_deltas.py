@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Diff fresh BENCH_*.json artifacts against bench/baseline/.
+
+Two classes of fields (see bench/baseline/README.md):
+
+* **Stable** — seed-deterministic op histograms, byte totals, grid shapes,
+  task counts. Any drift is a regression: the script exits nonzero.
+* **Timing** — bandwidths, latencies, iteration rates. These carry scheduler
+  jitter and machine dependence, so they never gate; deltas beyond the warn
+  threshold are surfaced in the report (and in $GITHUB_STEP_SUMMARY when
+  set) so a perf regression is visible on every CI run without turning
+  noise into red builds.
+
+Usage: check_bench_deltas.py [--baseline-dir bench/baseline] [--run-dir .]
+                             [--warn-pct 10]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+WORKLOADS = ["ycsb", "daly", "extsort", "replay"]
+WORKLOAD_STABLE = ["workload", "ranks", "seed", "ops", "bytes_read",
+                   "bytes_written", "server_bytes", "server_objects"]
+
+failures = []
+report_lines = []
+
+
+def note(line):
+    report_lines.append(line)
+    print(line)
+
+
+def fail(line):
+    failures.append(line)
+    note("FAIL " + line)
+
+
+def load_pair(baseline_dir, run_dir, name):
+    base_path = os.path.join(baseline_dir, name)
+    run_path = os.path.join(run_dir, name)
+    if not os.path.exists(base_path):
+        fail(f"{name}: missing baseline {base_path}")
+        return None, None
+    if not os.path.exists(run_path):
+        fail(f"{name}: missing run artifact {run_path}")
+        return None, None
+    with open(base_path) as f:
+        base = json.load(f)
+    with open(run_path) as f:
+        run = json.load(f)
+    return base, run
+
+
+def delta_pct(base, run):
+    if base == 0:
+        return None
+    return (run - base) / base * 100.0
+
+
+def timing_delta(name, field, base, run, warn_pct):
+    d = delta_pct(base, run)
+    if d is None:
+        return
+    mark = " **>warn**" if abs(d) > warn_pct else ""
+    note(f"  {name} {field}: {base:.4g} -> {run:.4g} ({d:+.1f}%){mark}")
+
+
+def check_workloads(args):
+    for wl in WORKLOADS:
+        base, run = load_pair(args.baseline_dir, args.run_dir,
+                              f"BENCH_workload_{wl}.json")
+        if base is None:
+            continue
+        if wl == "replay":
+            # Replayed compute-op count mirrors the input trace's PhaseTimer
+            # spans, which depend on nonzero-elapsed phase transitions; only
+            # the byte-carrying ops are seed-stable.
+            for d in (base, run):
+                d.get("ops", {}).pop("compute", None)
+        for k in WORKLOAD_STABLE:
+            if base.get(k) != run.get(k):
+                fail(f"workload {wl}: stable field '{k}' drifted\n"
+                     f"    baseline: {base.get(k)}\n"
+                     f"    run:      {run.get(k)}")
+
+
+def check_substrate(args):
+    base, run = load_pair(args.baseline_dir, args.run_dir,
+                          "BENCH_substrate.json")
+    if base is None:
+        return
+    base_by = {b["name"]: b for b in base.get("benchmarks", [])}
+    run_by = {b["name"]: b for b in run.get("benchmarks", [])}
+    missing = sorted(set(base_by) - set(run_by))
+    added = sorted(set(run_by) - set(base_by))
+    if missing:
+        fail(f"substrate: benchmarks missing from run: {missing}")
+    if added:
+        note(f"  substrate: new benchmarks (update baseline): {added}")
+    note("substrate timing deltas (warn-only):")
+    for name in sorted(set(base_by) & set(run_by)):
+        b, r = base_by[name], run_by[name]
+        for field in ("real_time_ns", "items_per_second"):
+            if field in b and field in r:
+                timing_delta(name, field, b[field], r[field], args.warn_pct)
+
+
+def check_ablation(args):
+    base, run = load_pair(args.baseline_dir, args.run_dir,
+                          "BENCH_ablation_iothreads.json")
+    if base is None:
+        return
+    key = lambda c: (c["streams"], c["io_threads"])
+    base_by = {key(c): c for c in base.get("cells", [])}
+    run_by = {key(c): c for c in run.get("cells", [])}
+    if sorted(base_by) != sorted(run_by):
+        fail(f"ablation: grid shape drifted\n    baseline: {sorted(base_by)}\n"
+             f"    run:      {sorted(run_by)}")
+        return
+    note("ablation timing deltas (warn-only):")
+    for k in sorted(base_by):
+        b, r = base_by[k], run_by[k]
+        if b["tasks"] != r["tasks"]:
+            fail(f"ablation {k}: task count drifted "
+                 f"{b['tasks']} -> {r['tasks']} (chunking is deterministic)")
+        cell = f"s{k[0]}xt{k[1]}"
+        for field in ("write_bw_mb_s", "read_bw_mb_s", "residency_p99_us"):
+            timing_delta(cell, field, b[field], r[field], args.warn_pct)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline-dir", default="bench/baseline")
+    ap.add_argument("--run-dir", default=".")
+    ap.add_argument("--warn-pct", type=float, default=10.0)
+    args = ap.parse_args()
+
+    note("## Bench delta report")
+    check_workloads(args)
+    check_substrate(args)
+    check_ablation(args)
+
+    if failures:
+        note(f"\n{len(failures)} stable-field failure(s).")
+    else:
+        note("\nAll stable fields match the committed baseline.")
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write("\n".join(report_lines) + "\n")
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -3,15 +3,30 @@
 // the wire-protocol framing, the aligner's seed stage, minimpi p2p, and the
 // observability layer's hot-path costs (span record, histogram, traced vs.
 // untraced cache read — the tracer must stay under a few percent here).
+//
+// The work-stealing engine section at the bottom carries the PR 7
+// acceptance numbers: multi-producer submit throughput through the new
+// AsyncEngine vs. the old single-mutex BoundedQueue architecture, plus the
+// lock-free substrates (Chase–Lev deque, MPMC ring, FixedFunction) in
+// isolation. A custom main() captures every run and, with --json=PATH,
+// writes the compact BENCH_substrate.json the CI perf-delta report diffs
+// against bench/baseline/.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstring>
+#include <functional>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bio/kmer_index.hpp"
 #include "bio/synth.hpp"
 #include "cache/block_cache.hpp"
+#include "common/bench_json.hpp"
+#include "common/fixed_function.hpp"
 #include "common/queue.hpp"
+#include "core/async_engine.hpp"
 #include "minimpi/runtime.hpp"
 #include "obs/histogram.hpp"
 #include "obs/tracer.hpp"
@@ -205,6 +220,261 @@ void BM_CacheReadHitTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheReadHitTraced);
 
+// --- work-stealing engine substrates (PR 7) ---------------------------------
+
+constexpr int kPoolWorkers = 8;       // the acceptance point: 8-worker pool
+constexpr int kTasksPerProducer = 2000;
+
+/// P external producers pushing no-op tasks through the new engine's MPMC
+/// injection ring into an 8-worker steal pool, measured submit -> executed.
+/// The ≥2x acceptance pairs this against BM_MutexQueueSubmitMPMC below.
+void BM_EngineSubmitMPMC(benchmark::State& state) {
+  const int producers = static_cast<int>(state.range(0));
+  semplar::AsyncEngine engine(kPoolWorkers, 1024);
+  for (auto _ : state) {
+    std::atomic<std::size_t> ran{0};
+    std::vector<std::thread> ps;
+    ps.reserve(static_cast<std::size_t>(producers));
+    for (int p = 0; p < producers; ++p) {
+      ps.emplace_back([&] {
+        for (int i = 0; i < kTasksPerProducer; ++i) {
+          while (!engine.try_submit([&ran]() -> std::size_t {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            return 0;
+          }))
+            std::this_thread::yield();
+        }
+      });
+    }
+    for (auto& t : ps) t.join();
+    engine.drain();
+    if (ran.load() !=
+        static_cast<std::size_t>(producers) * kTasksPerProducer)
+      state.SkipWithError("engine lost tasks");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          producers * kTasksPerProducer);
+}
+BENCHMARK(BM_EngineSubmitMPMC)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/// The architecture this PR replaced: one BoundedQueue (single mutex +
+/// condvar) feeding 8 consumer threads — every submit and every dequeue
+/// serializes on the same lock. Same task count, same producers, same
+/// wait-for-all shape as the engine bench above.
+void BM_MutexQueueSubmitMPMC(benchmark::State& state) {
+  const int producers = static_cast<int>(state.range(0));
+  using Fn = std::function<std::size_t()>;
+  BoundedQueue<Fn> q(1024);
+  std::atomic<std::size_t> ran{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kPoolWorkers);
+  for (int w = 0; w < kPoolWorkers; ++w) {
+    workers.emplace_back([&] {
+      while (auto fn = q.pop()) (*fn)();
+    });
+  }
+  for (auto _ : state) {
+    const std::size_t before = ran.load();
+    std::vector<std::thread> ps;
+    ps.reserve(static_cast<std::size_t>(producers));
+    for (int p = 0; p < producers; ++p) {
+      ps.emplace_back([&] {
+        for (int i = 0; i < kTasksPerProducer; ++i) {
+          q.push([&ran]() -> std::size_t {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            return 0;
+          });
+        }
+      });
+    }
+    for (auto& t : ps) t.join();
+    const std::size_t want =
+        before + static_cast<std::size_t>(producers) * kTasksPerProducer;
+    while (ran.load() < want) std::this_thread::yield();
+  }
+  q.close();
+  for (auto& t : workers) t.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          producers * kTasksPerProducer);
+}
+BENCHMARK(BM_MutexQueueSubmitMPMC)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/// Queue residency through the engine: burst-submit with a tracer attached,
+/// then fold every kTask span's (dequeue - enqueue) into an obs histogram.
+/// Mean/p99 surface as counters so the JSON baseline records them.
+void BM_EngineQueueResidency(benchmark::State& state) {
+  obs::Tracer tracer(1 << 16);
+  semplar::AsyncEngine engine(4, 1024, nullptr, {}, &tracer);
+  std::size_t bursts = 0;
+  for (auto _ : state) {
+    std::atomic<std::size_t> ran{0};
+    for (int i = 0; i < 512; ++i) {
+      while (!engine.try_submit([&ran]() -> std::size_t {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }))
+        std::this_thread::yield();
+    }
+    engine.drain();
+    ++bursts;
+  }
+  obs::Histogram h;
+  for (const auto& s : tracer.snapshot())
+    if (s.kind == obs::SpanKind::kTask) h.record(s.queue_wait());
+  state.counters["residency_mean_us"] = h.mean() * 1e6;
+  state.counters["residency_p99_us"] = h.quantile(0.99) * 1e6;
+  state.SetItemsProcessed(static_cast<std::int64_t>(bursts) * 512);
+}
+BENCHMARK(BM_EngineQueueResidency)->UseRealTime();
+
+/// Owner-side Chase–Lev hot path: LIFO push/pop with no contention — the
+/// cost a worker pays to run its own continuations.
+void BM_DequeOwnerPushPop(benchmark::State& state) {
+  WorkStealingDeque<int*> d;
+  int v = 7;
+  int* out = nullptr;
+  for (auto _ : state) {
+    d.push(&v);
+    benchmark::DoNotOptimize(d.pop(out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DequeOwnerPushPop);
+
+/// Sustained steal pressure: one owner pushes, two thieves drain from the
+/// top. Items/sec counts every task that crossed the deque.
+void BM_DequeStealThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    WorkStealingDeque<int*> d;
+    static int slot = 1;
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> stolen{0};
+    std::vector<std::thread> thieves;
+    for (int t = 0; t < 2; ++t) {
+      thieves.emplace_back([&] {
+        int* out = nullptr;
+        while (!stop.load(std::memory_order_acquire)) {
+          if (d.steal(out) == WorkStealingDeque<int*>::Steal::kSuccess)
+            stolen.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    std::size_t popped = 0;
+    int* got = nullptr;
+    for (int i = 0; i < 20000; ++i) {
+      d.push(&slot);
+      if ((i & 7) == 0 && d.pop(got)) ++popped;
+    }
+    while (d.pop(got)) ++popped;
+    while (popped + stolen.load() < 20000) std::this_thread::yield();
+    stop.store(true, std::memory_order_release);
+    for (auto& t : thieves) t.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 20000);
+}
+BENCHMARK(BM_DequeStealThroughput)->UseRealTime();
+
+/// Vyukov MPMC injection ring, uncontended: the per-submit cost floor for
+/// external producers.
+void BM_MpmcRingPushPop(benchmark::State& state) {
+  MpmcRing<int*> ring(1024);
+  int v = 7;
+  int* out = nullptr;
+  for (auto _ : state) {
+    ring.try_push(&v);
+    benchmark::DoNotOptimize(ring.try_pop(out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MpmcRingPushPop);
+
+/// Task-storage cost: FixedFunction stores a 48-byte capture inline
+/// (no heap), std::function of the same capture allocates. Pairing these
+/// two shows what every submit saves.
+struct TaskCapture {
+  std::uint64_t a[6] = {1, 2, 3, 4, 5, 6};
+  std::size_t operator()() const { return static_cast<std::size_t>(a[0] + a[5]); }
+};
+
+void BM_FixedFunctionCreateCall(benchmark::State& state) {
+  for (auto _ : state) {
+    FixedFunction<std::size_t(), 104> f(TaskCapture{});
+    benchmark::DoNotOptimize(f());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FixedFunctionCreateCall);
+
+void BM_StdFunctionCreateCall(benchmark::State& state) {
+  for (auto _ : state) {
+    std::function<std::size_t()> f(TaskCapture{});
+    benchmark::DoNotOptimize(f());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StdFunctionCreateCall);
+
+// --- JSON capture ------------------------------------------------------------
+
+/// ConsoleReporter that also keeps every Run so main() can serialize a
+/// compact BENCH_substrate.json via common/bench_json (the CI delta report
+/// gates on the benchmark-name set and warns on >10% timing drift).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) runs_.push_back(r);
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+std::string substrate_json(const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("bench").value("micro_substrate");
+  j.key("benchmarks").begin_array();
+  for (const auto& r : runs) {
+    if (r.run_type != benchmark::BenchmarkReporter::Run::RT_Iteration) continue;
+    j.begin_object();
+    j.key("name").value(r.benchmark_name());
+    j.key("iterations").value(static_cast<long long>(r.iterations));
+    j.key("real_time_ns").value(r.GetAdjustedRealTime());
+    j.key("cpu_time_ns").value(r.GetAdjustedCPUTime());
+    for (const auto& [name, counter] : r.counters)
+      j.key(name).value(static_cast<double>(counter.value));
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  return j.str();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json= before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) {
+      json_path = a.substr(7);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    remio::write_json_file(json_path, substrate_json(reporter.runs()));
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

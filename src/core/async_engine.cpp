@@ -1,6 +1,10 @@
 #include "core/async_engine.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <new>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "common/error.hpp"
@@ -9,118 +13,648 @@
 namespace remio::semplar {
 
 namespace {
-// "No I/O thread has picked this task up yet" sentinel for Span::dequeue.
+
+// "No worker has picked this task up yet" sentinel for Span::dequeue.
 // Negative so it can never collide with a real timestamp — sim time 0.0 is
 // a legitimate dequeue time for the first op of a run.
 constexpr double kDequeueUnset = -1.0;
+
+// Hard cap on one injection-queue grab (stack buffer in find_task);
+// Config::Engine::inject_batch is clamped to this.
+constexpr int kInjectBatchMax = 64;
+
+// Worker identity, so submissions from a worker thread (prefetch chains,
+// nested speculation) are routed to that worker's own deque instead of the
+// bounded injection queue a worker could deadlock against.
+struct TlsWorker {
+  const void* engine = nullptr;
+  int index = -1;
+};
+thread_local TlsWorker tls_worker;
+
+// Per-worker victim-order randomization; no global RNG state to contend on.
+inline std::uint32_t xorshift32(std::uint32_t& s) {
+  s ^= s << 13;
+  s ^= s >> 17;
+  s ^= s << 5;
+  return s;
+}
+
 }  // namespace
 
-AsyncEngine::AsyncEngine(int threads, std::size_t queue_capacity, bool lazy_spawn,
+// One queued task. Lives in pool-recycled storage and travels through the
+// queues as a raw pointer; exactly one of finish()/fail_item() destroys it.
+struct AsyncEngine::Item {
+  Task task;
+  std::shared_ptr<mpiio::IoRequest::State> state;
+  Completion done;
+  bool supervised = false;
+  int attempt = 0;      // completed attempts (replay counter)
+  double start_sim = 0.0;  // first submission, for the op deadline
+  obs::Span span;
+};
+
+struct AsyncEngine::Worker {
+  WorkStealingDeque<Item*> deque;
+  std::thread thread;
+};
+
+// ---------------------------------------------------------------------------
+// ItemPool
+
+struct AsyncEngine::ItemPool::Node {
+  alignas(alignof(std::max_align_t)) unsigned char storage[sizeof(Item)];
+  std::atomic<std::uint32_t> next{kNil};
+  std::uint32_t self = kNil;  // freelist index; kNil marks a heap fallback
+};
+
+AsyncEngine::ItemPool::~ItemPool() {
+  // Every Item has been destroyed and released by shutdown; heap-fallback
+  // nodes were deleted at release. Only the index blocks remain.
+  const std::size_t nb = block_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < nb; ++i)
+    delete[] blocks_[i].load(std::memory_order_acquire);
+}
+
+AsyncEngine::ItemPool::Node* AsyncEngine::ItemPool::node_at(
+    std::uint32_t idx) const {
+  Node* block = blocks_[idx / kBlockSize].load(std::memory_order_acquire);
+  return block + (idx % kBlockSize);
+}
+
+void* AsyncEngine::ItemPool::alloc() {
+  // Tagged-index Treiber pop: the 32-bit tag in the high half bumps on
+  // every successful CAS, so a slot freed and re-pushed between our head
+  // read and CAS (the ABA case) changes the word and the CAS fails. Nodes
+  // are never returned to the OS before the pool dies, so the speculative
+  // next-read of a node another thread just popped is always safe memory.
+  std::uint64_t h = head_.load(std::memory_order_acquire);
+  while ((h & 0xffffffffull) != kNil) {
+    Node* n = node_at(static_cast<std::uint32_t>(h));
+    const std::uint64_t nh =
+        (((h >> 32) + 1) << 32) | n->next.load(std::memory_order_relaxed);
+    if (head_.compare_exchange_weak(h, nh, std::memory_order_acq_rel,
+                                    std::memory_order_acquire))
+      return n->storage;
+  }
+  return grow();
+}
+
+void* AsyncEngine::ItemPool::grow() {
+  std::lock_guard lk(grow_mu_);
+  // Another thread may have grown (or released) while we waited for the
+  // lock; prefer the freelist over allocating a fresh block.
+  std::uint64_t h = head_.load(std::memory_order_acquire);
+  while ((h & 0xffffffffull) != kNil) {
+    Node* n = node_at(static_cast<std::uint32_t>(h));
+    const std::uint64_t nh =
+        (((h >> 32) + 1) << 32) | n->next.load(std::memory_order_relaxed);
+    if (head_.compare_exchange_weak(h, nh, std::memory_order_acq_rel,
+                                    std::memory_order_acquire))
+      return n->storage;
+  }
+  const std::size_t bi = block_count_.load(std::memory_order_relaxed);
+  if (bi >= kMaxBlocks) {
+    // Index space exhausted (256Ki live items): plain heap, freed on
+    // release instead of recycled.
+    return (new Node())->storage;
+  }
+  Node* block = new Node[kBlockSize];
+  const std::uint32_t base = static_cast<std::uint32_t>(bi * kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i)
+    block[i].self = base + static_cast<std::uint32_t>(i);
+  blocks_[bi].store(block, std::memory_order_release);
+  block_count_.store(bi + 1, std::memory_order_release);
+  for (std::size_t i = 1; i < kBlockSize; ++i) push_free(&block[i]);
+  return block[0].storage;
+}
+
+void AsyncEngine::ItemPool::release(void* item) {
+  // storage is Node's first member, so the Item pointer IS the Node pointer.
+  Node* n = reinterpret_cast<Node*>(item);
+  if (n->self == kNil) {
+    delete n;
+    return;
+  }
+  push_free(n);
+}
+
+void AsyncEngine::ItemPool::push_free(Node* n) {
+  std::uint64_t h = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    n->next.store(static_cast<std::uint32_t>(h), std::memory_order_relaxed);
+    const std::uint64_t nh = (((h >> 32) + 1) << 32) | n->self;
+    if (head_.compare_exchange_weak(h, nh, std::memory_order_release,
+                                    std::memory_order_relaxed))
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine lifecycle
+
+AsyncEngine::AsyncEngine(int io_threads, std::size_t queue_capacity,
                          Stats* stats, const Config::Retry& retry,
-                         obs::Tracer* tracer)
-    : threads_requested_(threads),
-      lazy_(lazy_spawn),
+                         obs::Tracer* tracer, const Config::Engine& tuning)
+    : threads_(io_threads <= 0 ? 1 : io_threads),
+      lazy_(io_threads <= 0),
+      capacity_(queue_capacity),
+      tuning_(tuning),
       stats_(stats),
       tracer_(tracer),
       retry_(retry),
       backoff_(retry, 0xa57eu),
-      queue_(queue_capacity) {
-  if (threads < 1) throw std::invalid_argument("AsyncEngine: threads < 1");
-  if (lazy_spawn && threads != 1)
-    throw std::invalid_argument("AsyncEngine: lazy spawn implies one thread");
-  if (!lazy_spawn) ensure_spawned();
+      // The ring gets 2x headroom over the logical capacity (enforced by
+      // the inject_size_ reservation) so a preempted consumer holding a
+      // cell cannot make try_push fail below capacity. Physically capped:
+      // beyond 64Ki cells more ring buys nothing, the reservation counter
+      // alone bounds occupancy (a >64Ki-deep burst just retries its push).
+      inject_(2 * std::min<std::size_t>(queue_capacity == 0 ? 1 : queue_capacity,
+                                        std::size_t{1} << 16)) {
+  if (io_threads < 0 || io_threads > 256)
+    throw std::invalid_argument("AsyncEngine: io_threads out of range [0, 256]");
+  if (queue_capacity == 0)
+    throw std::invalid_argument("AsyncEngine: queue_capacity must be > 0");
+  workers_.reserve(static_cast<std::size_t>(threads_));
+  for (int i = 0; i < threads_; ++i)
+    workers_.emplace_back(std::make_unique<Worker>());
+  if (!lazy_) ensure_spawned();
 }
 
 AsyncEngine::~AsyncEngine() { shutdown(); }
 
 void AsyncEngine::ensure_spawned() {
+  // §4.3: in the lazy configuration the first asynchronous call spawns the
+  // worker. The deques already exist (built in the ctor), so steal sweeps
+  // and park predicates never see a half-built pool.
   std::call_once(spawn_once_, [this] {
-    workers_.reserve(static_cast<std::size_t>(threads_requested_));
-    for (int i = 0; i < threads_requested_; ++i)
-      workers_.emplace_back([this] { worker_loop(); });
+    for (int i = 0; i < threads_; ++i)
+      workers_[static_cast<std::size_t>(i)]->thread =
+          std::thread([this, i] { worker_loop(i); });
   });
 }
 
-void AsyncEngine::worker_loop() {
-  while (auto item = queue_.pop()) {
-    const double t0 = simnet::sim_now();
-    if (tracer_ != nullptr) {
-      tracer_->gauge(obs::GaugeId::kQueueDepth).add(-1);
-      // First pickup only: a replayed task keeps its original dequeue so
-      // the span's queue_wait measures the first FIFO residency. Unassigned
-      // is a negative sentinel, not 0.0 — sim time zero is a legitimate
-      // dequeue timestamp.
-      if (item->span.dequeue < 0.0) item->span.dequeue = t0;
-    }
-    std::size_t n = 0;
-    std::exception_ptr err;
-    {
-      // Expose the task span to deeper layers (StreamPool stamps
-      // wire_start on the first transfer this task performs).
-      obs::ScopedOpSpan op(tracer_ != nullptr ? &item->span : nullptr);
-      try {
-        n = item->task();
-      } catch (...) {
-        err = std::current_exception();
-      }
-    }
-    if (stats_ != nullptr) stats_->add_busy(simnet::sim_now() - t0);
-    if (err == nullptr)
-      finish(std::move(*item), n);
-    else
-      handle_failure(std::move(*item), err);
+void AsyncEngine::shutdown() {
+  std::lock_guard lk(lifecycle_mu_);
+  if (shut_down_) return;
+  shut_down_ = true;
+  {
+    // Stop the replay timer first so nothing re-enters the injection queue
+    // after it closes; the timer fails everything still parked on its way
+    // out (shutdown does not wait out backoffs).
+    std::lock_guard dlk(defer_mu_);
+    timer_stop_ = true;
+    defer_cv_.notify_all();
+  }
+  if (timer_.joinable()) timer_.join();
+  closed_.store(true, std::memory_order_seq_cst);
+  // Wait out in-flight submitters: each is past its closed-check, so its
+  // push either lands (workers drain it below) or backs out on a full
+  // queue and re-checks closed. After this spin no new item can appear.
+  while (submit_gate_.load(std::memory_order_seq_cst) != 0)
+    std::this_thread::yield();
+  wake_all();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+}
+
+void AsyncEngine::drain() {
+  // Snapshot barrier: wait for the backlog that existed at entry, not for
+  // the engine to go idle. Against a continuous submit stream pending_ may
+  // never cross zero, but completed_epoch_ is monotone and every pre-call
+  // submission completes (or is failed) exactly once, so the wait is
+  // bounded by the entry backlog.
+  const std::uint64_t target =
+      submitted_epoch_.load(std::memory_order_seq_cst);
+  std::unique_lock lk(pending_mu_);
+  drain_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  pending_cv_.wait(lk, [this, target] {
+    return completed_epoch_.load(std::memory_order_seq_cst) >= target;
+  });
+  drain_waiters_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void AsyncEngine::task_done() {
+  // Epoch first, then the count: when pending_ hits zero the epoch already
+  // covers this completion. The zero crossing is the cheap steady-state
+  // wake condition; while a drainer is registered every completion
+  // notifies, because the drainer's target may land mid-stream. seq_cst on
+  // the epoch/waiter pair mirrors drain(): if we read drain_waiters_ == 0
+  // here, the drainer registered later and its predicate check (which
+  // follows the registration) observes our epoch increment.
+  completed_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  const bool zero = pending_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  if (zero || drain_waiters_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard lk(pending_mu_);
+    pending_cv_.notify_all();
   }
 }
 
-void AsyncEngine::finish(Item item, std::size_t n) {
-  if (tracer_ != nullptr) {
-    item.span.bytes = n;
-    item.span.wire_end = simnet::sim_now();
-    tracer_->record(item.span);
+// ---------------------------------------------------------------------------
+// Submission
+
+void AsyncEngine::begin_span(Item* item) {
+  if (tracer_ == nullptr) return;
+  item->span.op_id = tracer_->next_op_id();
+  item->span.kind = obs::SpanKind::kTask;
+  item->span.enqueue = simnet::sim_now();
+  item->span.dequeue = kDequeueUnset;
+}
+
+bool AsyncEngine::inject(Item* item, bool blocking) {
+  // External producers only (compute thread, prefetcher on a miss path,
+  // replay timer). The submit gate brackets the closed-check-then-push so
+  // shutdown can wait out a push it did not see coming; the inject_size_
+  // reservation enforces the *logical* capacity (the ring itself has
+  // headroom and may spuriously refuse a cell, which just retries).
+  for (;;) {
+    submit_gate_.fetch_add(1, std::memory_order_seq_cst);
+    if (closed_.load(std::memory_order_seq_cst)) {
+      submit_gate_.fetch_sub(1, std::memory_order_release);
+      return false;
+    }
+    const std::int64_t n = inject_size_.fetch_add(1, std::memory_order_seq_cst);
+    if (n >= static_cast<std::int64_t>(capacity_) || !inject_.try_push(item)) {
+      inject_size_.fetch_sub(1, std::memory_order_relaxed);
+      submit_gate_.fetch_sub(1, std::memory_order_release);
+      if (!blocking) return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    submit_gate_.fetch_sub(1, std::memory_order_release);
+    if (stats_ != nullptr)
+      stats_->note_queue_depth(static_cast<std::uint64_t>(n) + 1);
+    wake_one();
+    return true;
   }
-  mpiio::IoRequest::complete(item.state, n);
-  if (item.done) item.done(n, nullptr);
+}
+
+bool AsyncEngine::dispatch(Item* item, bool blocking) {
+  // On success the engine owns the item. On failure (closed, or full in
+  // non-blocking mode) the caller still owns it and must destroy/fail it;
+  // the pending count and queue-depth gauge claimed here are rolled back.
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  submitted_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  // Gauge before the push: a worker may pop and decrement the instant the
+  // item lands, and the gauge must not go transiently negative or
+  // under-report the watermark.
+  if (tracer_ != nullptr) tracer_->gauge(obs::GaugeId::kQueueDepth).add(1);
+  bool ok;
+  if (tls_worker.engine == this) {
+    // Worker-local submission (prefetch chain): the worker's own deque,
+    // which grows instead of blocking — a worker can never deadlock on its
+    // own backlog. The owner itself drains this deque before exiting, so
+    // no submit gate is needed; capacity only gates the speculative path.
+    Worker& me = *workers_[static_cast<std::size_t>(tls_worker.index)];
+    ok = !closed_.load(std::memory_order_seq_cst) &&
+         (blocking || me.deque.size_approx() < capacity_);
+    if (ok) {
+      if (stats_ != nullptr) stats_->note_queue_depth(me.deque.size_approx() + 1);
+      me.deque.push(item);
+      wake_one();  // a sibling may be parked while we are busy with our task
+    }
+  } else {
+    ok = inject(item, blocking);
+  }
+  if (!ok) {
+    if (tracer_ != nullptr) tracer_->gauge(obs::GaugeId::kQueueDepth).add(-1);
+    task_done();
+  }
+  return ok;
+}
+
+mpiio::IoRequest AsyncEngine::submit(Task task) {
+  ensure_spawned();
+  mpiio::IoRequest req = mpiio::IoRequest::make();
+  Item* item = new (pool_.alloc()) Item();
+  item->task = std::move(task);
+  item->state = req.state();
+  if (stats_ != nullptr) stats_->add_task();
+  begin_span(item);
+  if (!dispatch(item, /*blocking=*/true)) {
+    auto state = item->state;
+    destroy(item);
+    mpiio::IoRequest::fail(
+        state, std::make_exception_ptr(mpiio::IoError("engine shut down")));
+  }
+  return req;
+}
+
+mpiio::IoRequest AsyncEngine::submit_supervised(Task task, Completion done) {
+  ensure_spawned();
+  mpiio::IoRequest req = mpiio::IoRequest::make();
+  Item* item = new (pool_.alloc()) Item();
+  item->task = std::move(task);
+  item->state = req.state();
+  item->done = std::move(done);
+  item->supervised = true;
+  item->start_sim = simnet::sim_now();
+  if (stats_ != nullptr) stats_->add_task();
+  begin_span(item);
+  if (!dispatch(item, /*blocking=*/true)) {
+    auto state = item->state;
+    auto cb = std::move(item->done);
+    destroy(item);
+    auto err = std::make_exception_ptr(mpiio::IoError("engine shut down"));
+    mpiio::IoRequest::fail(state, err);
+    if (cb) cb(0, err);
+  }
+  return req;
+}
+
+bool AsyncEngine::try_submit(Task task) {
+  ensure_spawned();
+  // A discarded request absorbs the completion, keeping the worker loop
+  // oblivious to whether anyone waits.
+  mpiio::IoRequest req = mpiio::IoRequest::make();
+  Item* item = new (pool_.alloc()) Item();
+  item->task = std::move(task);
+  item->state = req.state();
+  begin_span(item);
+  if (!dispatch(item, /*blocking=*/false)) {
+    destroy(item);
+    return false;
+  }
+  if (stats_ != nullptr) stats_->add_task();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+
+void AsyncEngine::worker_loop(int self) {
+  tls_worker = TlsWorker{this, self};
+  std::uint32_t rng_state =
+      0x9e3779b9u ^ (static_cast<std::uint32_t>(self) * 2654435761u + 1u);
+  for (;;) {
+    searching_.fetch_add(1, std::memory_order_seq_cst);
+    Item* item = find_task(self, rng_state);
+    searching_.fetch_sub(1, std::memory_order_seq_cst);
+    if (item != nullptr) {
+      run_item(item);
+      continue;
+    }
+    if (closed_.load(std::memory_order_seq_cst)) {
+      // Exit only once no in-flight submitter can still land an item
+      // (gate drained) and every queue is visibly empty. Approximate deque
+      // reads err conservative for *other* deques — and an item can only
+      // rest in a deque whose owner is still running, so nothing strands.
+      if (submit_gate_.load(std::memory_order_seq_cst) == 0 &&
+          !work_available())
+        break;
+      std::this_thread::yield();
+      continue;
+    }
+    park();
+  }
+  tls_worker = TlsWorker{};
+}
+
+AsyncEngine::Item* AsyncEngine::find_task(int self, std::uint32_t& rng_state) {
+  Worker& me = *workers_[static_cast<std::size_t>(self)];
+  Item* it = nullptr;
+  const int spin = std::max(tuning_.spin_polls, 0);
+  for (int poll = 0; poll <= spin; ++poll) {
+    // 1. Own deque, LIFO — freshest task, warmest cache.
+    if (me.deque.pop(it)) return it;
+
+    // 2. Injection queue: grab a batch, run the oldest now, park the rest
+    // in our own deque *in reverse* so LIFO pops replay FIFO arrival order
+    // (load-bearing with one worker, where FIFO execution is contractual;
+    // with many it amortizes ring CAS traffic and feeds the thieves).
+    Item* batch[kInjectBatchMax];
+    const auto want = static_cast<std::size_t>(
+        std::clamp(tuning_.inject_batch, 1, kInjectBatchMax));
+    const std::size_t n = inject_.try_pop_batch(batch, want);
+    if (n > 0) {
+      inject_size_.fetch_sub(static_cast<std::int64_t>(n),
+                             std::memory_order_relaxed);
+      for (std::size_t i = n; i-- > 1;) me.deque.push(batch[i]);
+      // The surplus is stealable: recruit a sleeper. Forced — our own
+      // presence in searching_ must not suppress the recruitment.
+      if (n > 1) wake_one(/*force=*/true);
+      return batch[0];
+    }
+
+    // 3. Steal sweep, randomized start so thieves don't convoy on one
+    // victim. kLost means we raced someone over a non-empty deque — worth
+    // another sweep; all-empty ends the sweep early.
+    for (int round = 0; round < tuning_.steal_rounds; ++round) {
+      bool contended = false;
+      const int start =
+          threads_ > 1 ? static_cast<int>(xorshift32(rng_state) %
+                                          static_cast<std::uint32_t>(threads_))
+                       : 0;
+      for (int k = 0; k < threads_; ++k) {
+        const int v = (start + k) % threads_;
+        if (v == self) continue;
+        switch (workers_[static_cast<std::size_t>(v)]->deque.steal(it)) {
+          case WorkStealingDeque<Item*>::Steal::kSuccess:
+            if (stats_ != nullptr) stats_->add_steal();
+            return it;
+          case WorkStealingDeque<Item*>::Steal::kLost:
+            contended = true;
+            break;
+          case WorkStealingDeque<Item*>::Steal::kEmpty:
+            break;
+        }
+      }
+      if (!contended) break;
+    }
+  }
+  return nullptr;
+}
+
+void AsyncEngine::run_item(Item* item) {
+  // Touch the sim clock only when someone consumes the timestamps: with
+  // neither stats nor tracer attached, a task executes without any clock
+  // reads on the hot path.
+  const bool timed = stats_ != nullptr || tracer_ != nullptr;
+  const double t0 = timed ? simnet::sim_now() : 0.0;
+  if (tracer_ != nullptr) {
+    tracer_->gauge(obs::GaugeId::kQueueDepth).add(-1);
+    // First pickup only: a replayed task keeps its original dequeue so the
+    // span's queue_wait measures the first queue residency. Unassigned is a
+    // negative sentinel, not 0.0 — sim time zero is a legitimate timestamp.
+    if (item->span.dequeue < 0.0) item->span.dequeue = t0;
+  }
+  std::size_t n = 0;
+  std::exception_ptr err;
+  {
+    // Expose the task span to deeper layers (StreamPool stamps wire_start
+    // on the first transfer this task performs).
+    obs::ScopedOpSpan op(tracer_ != nullptr ? &item->span : nullptr);
+    try {
+      n = item->task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+  }
+  if (stats_ != nullptr) stats_->add_busy(simnet::sim_now() - t0);
+  if (err == nullptr)
+    finish(item, n);
+  else
+    handle_failure(item, err);
+}
+
+bool AsyncEngine::work_available() const {
+  if (inject_size_.load(std::memory_order_seq_cst) > 0) return true;
+  for (const auto& w : workers_)
+    if (!w->deque.empty_approx()) return true;
+  return false;
+}
+
+void AsyncEngine::park() {
+  std::unique_lock lk(park_mu_);
+  // Dekker handshake with wake_one(): we publish sleepers_ > 0, then
+  // re-check the queues; the producer publishes its push, then checks
+  // sleepers_. Both sides are seq_cst (plus fences), so at least one of
+  // them sees the other — a push can never slip between our check and the
+  // wait unnoticed.
+  //
+  // sleepers_ holds *wake tokens*, not a plain sleeper census: a producer
+  // claims (decrements) a token before it notifies, and a woken worker
+  // does NOT decrement on exit. This keeps the producer fast path a single
+  // load while a wake is already in flight — without the claim, the
+  // counter would stay raised from notify until the woken worker actually
+  // runs (on a loaded box, a whole scheduling quantum), and every submit
+  // landing in that window would pay the mutex + notify for nothing.
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (work_available() || closed_.load(std::memory_order_seq_cst)) {
+    // Hand the token back — unless a producer already claimed it, in which
+    // case its notify will hit an empty room (we are headed back to the
+    // scan loop and will find the work ourselves).
+    int s = sleepers_.load(std::memory_order_seq_cst);
+    while (s > 0 &&
+           !sleepers_.compare_exchange_weak(s, s - 1,
+                                            std::memory_order_seq_cst)) {
+    }
+    return;
+  }
+  if (stats_ != nullptr) stats_->add_park();
+  for (;;) {
+    park_cv_.wait(lk);
+    // Claimed-notify exit: the waker consumed our token when it claimed
+    // the wake, so a predicate-true exit must not decrement.
+    if (work_available() || closed_.load(std::memory_order_seq_cst)) return;
+    // Woken but found nothing: the claim that consumed a token was wasted
+    // (a canceling scanner grabbed the item first — its cancel handed back
+    // a token that the producer had already claimed, i.e. effectively
+    // *ours*). We stay parked, so re-register a token; without this the
+    // cancel/claim collision leaves sleepers invisible to wake_one, and
+    // once the count hits zero a full queue wakes nobody (deadlock,
+    // observed on a single-core box).
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (work_available() || closed_.load(std::memory_order_seq_cst)) {
+      // Work raced in between the predicate check and the re-register:
+      // hand the token back (unless already claimed) and go scan.
+      int s = sleepers_.load(std::memory_order_seq_cst);
+      while (s > 0 &&
+             !sleepers_.compare_exchange_weak(s, s - 1,
+                                              std::memory_order_seq_cst)) {
+      }
+      return;
+    }
+  }
+}
+
+void AsyncEngine::wake_one(bool force) {
+  // Producer side of the Dekker pair: the push above this call is already
+  // visible; if no worker has published itself asleep, every worker is
+  // busy or mid-scan and will find the item — skip the mutex entirely.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // Wake throttle: if a worker is mid-scan it will pick the item up (or,
+  // failing that, see it in the park-time re-check that is ordered after
+  // our push — so nothing strands). Waking a second worker just to race it
+  // is wasted futex traffic; a scanner that grabs a surplus batch
+  // force-recruits help itself.
+  if (!force && searching_.load(std::memory_order_seq_cst) > 0) return;
+  int s = sleepers_.load(std::memory_order_seq_cst);
+  for (;;) {
+    if (s <= 0) return;
+    if (sleepers_.compare_exchange_weak(s, s - 1, std::memory_order_seq_cst))
+      break;
+  }
+  if (stats_ != nullptr) stats_->add_wake();
+  // Empty critical section, then notify *unlocked*. A worker between its
+  // queue re-check and its wait() holds park_mu_, so acquiring the lock
+  // serializes us after it: by the time we notify, that worker is either
+  // inside wait() (receives it) or has canceled (saw our push). Notifying
+  // after unlock spares the woken thread an immediate block on a mutex we
+  // would still hold.
+  { std::lock_guard lk(park_mu_); }
+  park_cv_.notify_one();
+}
+
+void AsyncEngine::wake_all() {
+  // Shutdown path: clear every token and wake the whole room. Workers
+  // re-check closed_ under the predicate and exit.
+  sleepers_.store(0, std::memory_order_seq_cst);
+  { std::lock_guard lk(park_mu_); }
+  park_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Completion and supervision
+
+void AsyncEngine::destroy(Item* item) {
+  item->~Item();
+  pool_.release(item);
+}
+
+void AsyncEngine::finish(Item* item, std::size_t n) {
+  if (tracer_ != nullptr) {
+    item->span.bytes = n;
+    item->span.wire_end = simnet::sim_now();
+    tracer_->record(item->span);
+  }
+  mpiio::IoRequest::complete(item->state, n);
+  if (item->done) item->done(n, nullptr);
+  destroy(item);
   task_done();
 }
 
-void AsyncEngine::fail_item(Item item, std::exception_ptr err) {
+void AsyncEngine::fail_item(Item* item, std::exception_ptr err) {
   if (tracer_ != nullptr) {
     // Record the failed task too — the no-orphans invariant (every
     // submitted op has a span after drain) holds on the failure path.
-    item.span.bytes = 0;
-    item.span.wire_end = simnet::sim_now();
-    tracer_->record(item.span);
+    item->span.bytes = 0;
+    item->span.wire_end = simnet::sim_now();
+    tracer_->record(item->span);
   }
-  mpiio::IoRequest::fail(item.state, err);
-  if (item.done) item.done(0, err);
+  mpiio::IoRequest::fail(item->state, err);
+  if (item->done) item->done(0, err);
+  destroy(item);
   task_done();
 }
 
-void AsyncEngine::handle_failure(Item item, std::exception_ptr err) {
-  if (!item.supervised || !retry_.enabled()) {
-    fail_item(std::move(item), err);
+void AsyncEngine::handle_failure(Item* item, std::exception_ptr err) {
+  if (!item->supervised || !retry_.enabled()) {
+    fail_item(item, err);
     return;
   }
   const remio::Status st = remio::status_from_exception(err);
-  if (!st.retryable() || item.attempt + 1 >= retry_.max_attempts) {
-    fail_item(std::move(item), err);
+  if (!st.retryable() || item->attempt + 1 >= retry_.max_attempts) {
+    fail_item(item, err);
     return;
   }
-  const double delay = backoff_.delay(item.attempt);
+  const double delay = backoff_.delay(item->attempt);
   if (retry_.op_deadline > 0.0 &&
-      simnet::sim_now() - item.start_sim + delay > retry_.op_deadline) {
+      simnet::sim_now() - item->start_sim + delay > retry_.op_deadline) {
     if (stats_ != nullptr) stats_->add_deadline_expiration();
-    fail_item(std::move(item),
+    fail_item(item,
               std::make_exception_ptr(mpiio::IoError(
                   {remio::ErrorDomain::kDeadline, 0, /*retryable=*/false,
                    "supervise"},
                   "op deadline (" + std::to_string(retry_.op_deadline) +
                       "s sim) exceeded after " +
-                      std::to_string(item.attempt + 1) + " attempts: " +
+                      std::to_string(item->attempt + 1) + " attempts: " +
                       st.message())));
     return;
   }
-  ++item.attempt;
+  ++item->attempt;
   if (stats_ != nullptr) {
     stats_->add_backoff(delay);
     stats_->add_replayed_op();
@@ -130,20 +664,20 @@ void AsyncEngine::handle_failure(Item item, std::exception_ptr err) {
     // The parked interval [now, now + delay): visible in the trace as a
     // backoff lane under the same op id as the task being replayed.
     obs::Span park;
-    park.op_id = item.span.op_id;
+    park.op_id = item->span.op_id;
     park.kind = obs::SpanKind::kBackoff;
     park.enqueue = park.dequeue = park.wire_start = now;
     park.wire_end = now + delay;
     tracer_->record(park);
   }
-  defer(std::move(item), now + delay);
+  defer(item, now + delay);
 }
 
-void AsyncEngine::defer(Item item, double due) {
+void AsyncEngine::defer(Item* item, double due) {
   std::unique_lock lk(defer_mu_);
   if (timer_stop_) {
     lk.unlock();
-    fail_item(std::move(item),
+    fail_item(item,
               std::make_exception_ptr(mpiio::IoError("engine shut down")));
     return;
   }
@@ -152,7 +686,7 @@ void AsyncEngine::defer(Item item, double due) {
     timer_ = std::thread([this] { timer_loop(); });
   }
   if (tracer_ != nullptr) tracer_->gauge(obs::GaugeId::kDeferredBacklog).add(1);
-  deferred_.push(Deferred{due, std::move(item)});
+  deferred_.push(Deferred{due, item});
   defer_cv_.notify_all();
 }
 
@@ -162,12 +696,12 @@ void AsyncEngine::timer_loop() {
     if (timer_stop_) {
       // Shutdown: fail what is still parked instead of waiting out backoffs.
       while (!deferred_.empty()) {
-        Item item = std::move(const_cast<Deferred&>(deferred_.top()).item);
+        Item* item = deferred_.top().item;
         deferred_.pop();
         if (tracer_ != nullptr)
           tracer_->gauge(obs::GaugeId::kDeferredBacklog).add(-1);
         lk.unlock();
-        fail_item(std::move(item),
+        fail_item(item,
                   std::make_exception_ptr(mpiio::IoError("engine shut down")));
         lk.lock();
       }
@@ -182,140 +716,28 @@ void AsyncEngine::timer_loop() {
       defer_cv_.wait_until(lk, simnet::wall_deadline(due));
       continue;
     }
-    Item item = std::move(const_cast<Deferred&>(deferred_.top()).item);
+    Item* item = deferred_.top().item;
     deferred_.pop();
     if (tracer_ != nullptr) {
       tracer_->gauge(obs::GaugeId::kDeferredBacklog).add(-1);
       tracer_->gauge(obs::GaugeId::kQueueDepth).add(1);
     }
-    // Keep handles to the completion (and a copy of the task span) in case
-    // the queue closed under us — push consumes the item either way.
-    auto state = item.state;
-    auto done = item.done;
-    obs::Span span = item.span;
     lk.unlock();
-    // Back onto the FIFO: the replay runs in arrival order with whatever
-    // else is queued, on any free I/O thread.
-    if (!queue_.push(std::move(item))) {
-      if (tracer_ != nullptr) {
+    // Back into the injection queue: the replay runs in arrival order with
+    // whatever else is queued, on whichever worker frees up first — often a
+    // different one than the first attempt. The item's pending count from
+    // its original submission still stands, so drain() keeps waiting.
+    if (!inject(item, /*blocking=*/true)) {
+      // Engine closed under us: roll back the queue-depth gauge and fail
+      // the replay (fail_item records its kTask span, keeping the
+      // no-orphans invariant on this shutdown path too).
+      if (tracer_ != nullptr)
         tracer_->gauge(obs::GaugeId::kQueueDepth).add(-1);
-        // Record the task span here too (fail_item can't — the item is
-        // gone), so the no-orphans invariant holds on this shutdown path.
-        span.bytes = 0;
-        span.wire_end = simnet::sim_now();
-        tracer_->record(span);
-      }
-      auto err = std::make_exception_ptr(mpiio::IoError("engine shut down"));
-      mpiio::IoRequest::fail(state, err);
-      if (done) done(0, err);
-      task_done();
+      fail_item(item,
+                std::make_exception_ptr(mpiio::IoError("engine shut down")));
     }
     lk.lock();
   }
-}
-
-void AsyncEngine::task_done() {
-  std::lock_guard lk(pending_mu_);
-  --pending_;
-  if (pending_ == 0) pending_cv_.notify_all();
-}
-
-mpiio::IoRequest AsyncEngine::enqueue(Item item) {
-  ensure_spawned();  // §4.3: first asynchronous call spawns the I/O thread
-  mpiio::IoRequest req = mpiio::IoRequest::make();
-  item.state = req.state();
-  if (stats_ != nullptr) {
-    stats_->add_task();
-    stats_->note_queue_depth(queue_.size() + 1);
-  }
-  if (tracer_ != nullptr) {
-    item.span.op_id = tracer_->next_op_id();
-    item.span.kind = obs::SpanKind::kTask;
-    item.span.enqueue = simnet::sim_now();
-    item.span.dequeue = kDequeueUnset;
-    tracer_->gauge(obs::GaugeId::kQueueDepth).add(1);
-  }
-  {
-    std::lock_guard lk(pending_mu_);
-    ++pending_;
-  }
-  if (!queue_.push(std::move(item))) {
-    if (tracer_ != nullptr) tracer_->gauge(obs::GaugeId::kQueueDepth).add(-1);
-    task_done();
-    mpiio::IoRequest::fail(req.state(),
-                           std::make_exception_ptr(mpiio::IoError("engine shut down")));
-  }
-  return req;
-}
-
-mpiio::IoRequest AsyncEngine::submit(Task task) {
-  Item item;
-  item.task = std::move(task);
-  return enqueue(std::move(item));
-}
-
-mpiio::IoRequest AsyncEngine::submit_supervised(Task task, Completion done) {
-  Item item;
-  item.task = std::move(task);
-  item.done = std::move(done);
-  item.supervised = true;
-  item.start_sim = simnet::sim_now();
-  return enqueue(std::move(item));
-}
-
-bool AsyncEngine::try_submit(Task task) {
-  ensure_spawned();
-  // A discarded request absorbs the completion, keeping the worker loop
-  // oblivious to whether anyone waits.
-  mpiio::IoRequest req = mpiio::IoRequest::make();
-  {
-    std::lock_guard lk(pending_mu_);
-    ++pending_;
-  }
-  Item item;
-  item.task = std::move(task);
-  item.state = req.state();
-  if (tracer_ != nullptr) {
-    item.span.op_id = tracer_->next_op_id();
-    item.span.kind = obs::SpanKind::kTask;
-    item.span.enqueue = simnet::sim_now();
-    item.span.dequeue = kDequeueUnset;
-    // Increment before the push, mirroring enqueue(): a worker may pop and
-    // decrement the instant the item lands, and the gauge must not go
-    // transiently negative or under-report the watermark.
-    tracer_->gauge(obs::GaugeId::kQueueDepth).add(1);
-  }
-  if (!queue_.try_push(std::move(item))) {
-    if (tracer_ != nullptr) tracer_->gauge(obs::GaugeId::kQueueDepth).add(-1);
-    task_done();
-    return false;
-  }
-  if (stats_ != nullptr) {
-    stats_->add_task();
-    stats_->note_queue_depth(queue_.size());
-  }
-  return true;
-}
-
-void AsyncEngine::drain() {
-  std::unique_lock lk(pending_mu_);
-  pending_cv_.wait(lk, [&] { return pending_ == 0; });
-}
-
-void AsyncEngine::shutdown() {
-  std::lock_guard lk(lifecycle_mu_);
-  if (shut_down_) return;
-  shut_down_ = true;
-  {
-    // Stop the replay timer first so nothing re-enters the queue after it
-    // closes; the timer fails everything still parked on its way out.
-    std::lock_guard dlk(defer_mu_);
-    timer_stop_ = true;
-    defer_cv_.notify_all();
-  }
-  if (timer_.joinable()) timer_.join();
-  queue_.close();  // workers drain the remaining items, then exit
-  for (auto& w : workers_) w.join();
 }
 
 }  // namespace remio::semplar

@@ -1,27 +1,43 @@
-// The multi-threaded asynchronous core of SEMPLAR (Fig. 2 / §4.2–4.3):
-// a FIFO I/O queue shared between the compute thread (producer) and one or
-// more dedicated I/O threads (consumers). I/O threads suspend on the
-// queue's condition variable when idle; the compute thread's enqueue
-// signals them — no busy waiting. In lazy mode the single I/O thread is
-// spawned by the first asynchronous call; in pre-spawned mode the pool is
-// created up front (the §7.2 configuration, ideally one thread per TCP
-// stream).
+// The multi-threaded asynchronous core of SEMPLAR (Fig. 2 / §4.2–4.3),
+// rebuilt as a work-stealing pool. The paper's single FIFO queue + mutex +
+// condvar serialized every submit, dequeue, speculative try_submit and
+// deferred-replay re-enqueue on one lock; here each worker owns a
+// Chase–Lev lock-free deque (owner pushes/pops LIFO at the bottom, thieves
+// steal FIFO from the top) and external producers — the compute thread,
+// the prefetcher, the replay timer — hand tasks through a bounded Vyukov
+// MPMC injection ring. A worker takes its own deque first, then a batch
+// from the injection ring (surplus parked in its deque where siblings can
+// steal it), then sweeps the other workers in randomized order. Idle
+// workers park on a condvar behind an atomic sleeper count, so an idle
+// pool costs nothing and a single submit wakes exactly one worker (§4.3's
+// no-busy-wait requirement, kept). Tasks live in pool-recycled slots and
+// store their callable inline (FixedFunction), so a steady-state submit
+// performs no heap allocation.
+//
+// External submissions retain FIFO arrival order through the injection
+// ring; with one worker (the lazy §7.1 configuration) they also execute
+// in FIFO order, preserving the original engine's observable behaviour.
 //
 // Supervision (Config::Retry enabled): tasks submitted through
 // submit_supervised() that fail with a *retryable* error (see
 // common/error.hpp) are not failed immediately. They are parked in a
-// deferred min-heap keyed by their backoff due-time and re-enqueued onto
-// the FIFO queue by a timer thread when the backoff elapses — I/O threads
-// never sleep on a backoff, so unrelated queued requests keep flowing
-// while a failed one waits out its delay.
+// deferred min-heap keyed by their backoff due-time and re-injected by a
+// timer thread when the backoff elapses — workers never sleep on a
+// backoff, so unrelated queued requests keep flowing while a failed one
+// waits out its delay. A replayed task may complete on a different worker
+// than its first attempt; its kTask span still records exactly once, with
+// queue residency measured from the first submission.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
-#include <functional>
+#include <memory>
+#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/fixed_function.hpp"
 #include "common/queue.hpp"
 #include "core/config.hpp"
 #include "core/stats.hpp"
@@ -34,44 +50,55 @@ namespace remio::semplar {
 class AsyncEngine {
  public:
   /// A task performs one synchronous I/O call and returns bytes moved.
-  using Task = std::function<std::size_t()>;
+  /// Stored inline when the captures fit (no heap allocation on submit).
+  using Task = FixedFunction<std::size_t(), 104>;
   /// Invoked exactly once with the task's *final* outcome — after any
-  /// replays — with (bytes, error); error is null on success. Runs on an
-  /// I/O thread; must not block on the engine.
-  using Completion = std::function<void(std::size_t, std::exception_ptr)>;
+  /// replays — with (bytes, error); error is null on success. Runs on a
+  /// worker thread; must not block on the engine.
+  using Completion = FixedFunction<void(std::size_t, std::exception_ptr), 56>;
 
-  /// threads >= 1. If lazy_spawn, threads must be 1 and the thread starts
-  /// on the first submit(). `retry` (default: disabled) enables the
-  /// deferred-replay supervisor for submit_supervised() tasks. `tracer`
-  /// (optional) records a kTask span per task — queue residency through
-  /// final completion across replays — plus queue-depth / deferred-backlog
-  /// gauges and a kBackoff span per parked replay.
-  AsyncEngine(int threads, std::size_t queue_capacity, bool lazy_spawn,
+  /// io_threads follows the Config convention directly: 0 = one worker
+  /// spawned lazily on the first asynchronous call (§7.1); >= 1 = that
+  /// many pre-spawned workers (§7.2 uses one per stream). `retry`
+  /// (default: disabled) enables the deferred-replay supervisor for
+  /// submit_supervised() tasks. `tracer` (optional) records a kTask span
+  /// per task — queue residency through final completion across replays —
+  /// plus queue-depth / deferred-backlog gauges and a kBackoff span per
+  /// parked replay. `tuning` carries the steal/batch/park knobs.
+  AsyncEngine(int io_threads, std::size_t queue_capacity,
               Stats* stats = nullptr, const Config::Retry& retry = {},
-              obs::Tracer* tracer = nullptr);
+              obs::Tracer* tracer = nullptr,
+              const Config::Engine& tuning = {});
   ~AsyncEngine();
 
   AsyncEngine(const AsyncEngine&) = delete;
   AsyncEngine& operator=(const AsyncEngine&) = delete;
 
-  /// Enqueues FIFO; returns the completion handle (MPIO_Wait/Test on it).
-  /// A failed task fails its request on the first error (no replay).
+  /// Enqueues the task; returns the completion handle (MPIO_Wait/Test on
+  /// it). Blocks while the injection queue is at capacity (worker-thread
+  /// callers never block: their submissions land on their own deque, which
+  /// grows). A failed task fails its request on the first error (no
+  /// replay).
   mpiio::IoRequest submit(Task task);
 
   /// Like submit(), but retryable failures are replayed after a capped,
-  /// jittered backoff (without occupying an I/O thread while waiting).
-  /// The task must be idempotent — it re-runs from scratch. `done`, if
-  /// set, observes the final outcome (for striped-join bookkeeping).
+  /// jittered backoff (without occupying a worker while waiting). The
+  /// task must be idempotent — it re-runs from scratch, possibly on a
+  /// different worker. `done`, if set, observes the final outcome (for
+  /// striped-join bookkeeping).
   mpiio::IoRequest submit_supervised(Task task, Completion done = {});
 
   /// Non-blocking fire-and-forget enqueue for speculative work (cache
-  /// read-ahead): returns false instead of waiting when the queue is full or
-  /// the engine is shut down, so an I/O thread can submit without deadlock.
+  /// read-ahead): returns false instead of waiting when the queue is full
+  /// or the engine is shut down, so a worker can submit without deadlock.
   /// The task's result and any exception are discarded.
   bool try_submit(Task task);
 
   /// Blocks until everything enqueued so far has completed — including
-  /// deferred replays still waiting out a backoff.
+  /// deferred replays still waiting out a backoff. A snapshot barrier, not
+  /// quiescence: tasks submitted by other threads *after* the call starts
+  /// are not waited for, so drain() returns in bounded time even against a
+  /// continuous submit stream that never lets the engine go idle.
   void drain();
 
   /// Stops accepting work, drains, joins. Pending deferred replays are
@@ -79,21 +106,55 @@ class AsyncEngine {
   /// called by dtor.
   void shutdown();
 
-  int thread_count() const { return threads_requested_; }
+  /// Effective worker count — always >= 1, resolving the lazy-0
+  /// convention exactly like Config::effective_io_threads() (a lazy
+  /// engine reports 1 whether or not its worker has spawned yet).
+  int thread_count() const { return threads_; }
+
+  /// True when constructed with io_threads == 0 (worker spawns on the
+  /// first asynchronous call).
+  bool lazy() const { return lazy_; }
 
  private:
-  struct Item {
-    Task task;
-    std::shared_ptr<mpiio::IoRequest::State> state;
-    Completion done;            // empty unless submit_supervised
-    bool supervised = false;
-    int attempt = 0;            // completed attempts so far
-    double start_sim = 0.0;     // first-submission sim time (op_deadline)
-    obs::Span span;             // kTask lifecycle; recorded at final outcome
+  struct Item;   // one queued task + its request state + span (pooled)
+  struct Worker; // worker thread + its Chase–Lev deque
+
+  /// Recycling allocator for Item slots: a lock-free indexed freelist
+  /// (32-bit slot index + 32-bit ABA tag packed in one 64-bit head) over
+  /// append-only node blocks, with a plain-heap fallback once the index
+  /// space is exhausted. Steady-state submits reuse slots without
+  /// touching the heap.
+  class ItemPool {
+   public:
+    ItemPool() = default;
+    ~ItemPool();
+    ItemPool(const ItemPool&) = delete;
+    ItemPool& operator=(const ItemPool&) = delete;
+
+    /// Raw storage for one Item; caller placement-news into it.
+    void* alloc();
+    /// Caller has already run ~Item().
+    void release(void* item);
+
+   private:
+    struct Node;
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+    static constexpr std::size_t kBlockSize = 256;
+    static constexpr std::size_t kMaxBlocks = 1024;
+
+    Node* node_at(std::uint32_t idx) const;
+    void push_free(Node* n);
+    void* grow();
+
+    std::atomic<std::uint64_t> head_{static_cast<std::uint64_t>(kNil)};
+    std::vector<std::atomic<Node*>> blocks_{kMaxBlocks};
+    std::atomic<std::size_t> block_count_{0};
+    std::mutex grow_mu_;
   };
+
   struct Deferred {
     double due;  // sim time at which the replay may run
-    Item item;
+    Item* item;
   };
   struct DeferredLater {
     bool operator()(const Deferred& a, const Deferred& b) const {
@@ -102,26 +163,61 @@ class AsyncEngine {
   };
 
   void ensure_spawned();
-  void worker_loop();
+  void worker_loop(int self);
+  Item* find_task(int self, std::uint32_t& rng_state);
+  void run_item(Item* item);
+  void park();
+  void wake_one(bool force = false);
+  void wake_all();
+  bool work_available() const;
+  void begin_span(Item* item);
+  bool dispatch(Item* item, bool blocking);
+  bool inject(Item* item, bool blocking);
   void timer_loop();
-  mpiio::IoRequest enqueue(Item item);
-  void finish(Item item, std::size_t n);
-  void fail_item(Item item, std::exception_ptr err);
-  void handle_failure(Item item, std::exception_ptr err);
-  void defer(Item item, double due);
+  void finish(Item* item, std::size_t n);
+  void fail_item(Item* item, std::exception_ptr err);
+  void handle_failure(Item* item, std::exception_ptr err);
+  void defer(Item* item, double due);
+  void destroy(Item* item);
   void task_done();
 
-  const int threads_requested_;
+  const int threads_;  // effective worker count (>= 1)
   const bool lazy_;
+  const std::size_t capacity_;  // logical injection-queue capacity
+  const Config::Engine tuning_;
   Stats* stats_;
   obs::Tracer* tracer_;
   const Config::Retry retry_;
   Backoff backoff_;
-  BoundedQueue<Item> queue_;
-  std::vector<std::thread> workers_;
+
+  ItemPool pool_;
+  MpmcRing<Item*> inject_;
+  std::atomic<std::int64_t> inject_size_{0};
+  std::vector<std::unique_ptr<Worker>> workers_;
   std::once_flag spawn_once_;
   std::mutex lifecycle_mu_;
   bool shut_down_ = false;
+
+  // Submission gate: closed_ refuses new work; submit_gate_ counts
+  // submitters between their closed-check and their push, so shutdown and
+  // the workers' final-exit check can wait out in-flight pushes instead of
+  // stranding an item behind a closed flag.
+  std::atomic<bool> closed_{false};
+  std::atomic<int> submit_gate_{0};
+
+  // Park/wake protocol. sleepers_ is the fast-path gate: producers skip
+  // the mutex entirely while every worker is busy. The Dekker pair
+  // (producer: push, fence, read sleepers_ / worker: bump sleepers_,
+  // fence, re-check queues) makes the park decision lose-proof, and the
+  // condvar+mutex make the actual sleep race-free.
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<int> sleepers_{0};
+  // Wake throttle: number of workers currently inside find_task. A
+  // producer skips the wake when someone is already scanning — the
+  // scanner's park-time re-check (after it leaves this count) is ordered
+  // after the producer's push, so the item cannot be stranded.
+  std::atomic<int> searching_{0};
 
   // Deferred replays (supervision). The timer thread is spawned on the
   // first defer — fault-free runs never pay for it.
@@ -132,10 +228,17 @@ class AsyncEngine {
   bool timer_spawned_ = false;
   bool timer_stop_ = false;
 
-  // Outstanding (queued, running, or deferred) task count, for drain().
+  // Outstanding (queued, running, or deferred) task count, plus monotone
+  // submit/complete epochs for drain()'s snapshot barrier: a drainer waits
+  // for completed_epoch_ to reach the submitted_epoch_ it read on entry,
+  // never for global idleness. The mutex is only touched at the zero
+  // crossing and, while a drainer is registered, per completion.
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint64_t> submitted_epoch_{0};
+  std::atomic<std::uint64_t> completed_epoch_{0};
+  std::atomic<int> drain_waiters_{0};
   std::mutex pending_mu_;
   std::condition_variable pending_cv_;
-  std::size_t pending_ = 0;
 };
 
 }  // namespace remio::semplar

@@ -25,11 +25,12 @@ SemplarFile::SemplarFile(simnet::Fabric& fabric, const Config& cfg,
     tracer_ = std::make_unique<obs::Tracer>(cfg_.obs.ring_capacity);
   streams_ = std::make_unique<StreamPool>(fabric, cfg_, path, srb_flags,
                                           &stats_, tracer_.get());
-  // §4.3: by default one I/O thread spawned lazily on the first async call;
-  // pre-spawned pool when io_threads >= 1 is requested explicitly.
-  engine_ = std::make_unique<AsyncEngine>(cfg_.effective_io_threads(),
-                                          cfg_.queue_capacity, cfg_.lazy_spawn(),
-                                          &stats_, cfg_.retry, tracer_.get());
+  // §4.3: by default one I/O thread spawned lazily on the first async call
+  // (the engine resolves io_threads == 0 itself); pre-spawned work-stealing
+  // pool when io_threads >= 1 is requested explicitly.
+  engine_ = std::make_unique<AsyncEngine>(cfg_.io_threads, cfg_.queue_capacity,
+                                          &stats_, cfg_.retry, tracer_.get(),
+                                          cfg_.engine);
   if (cfg_.cache_bytes > 0) {
     static std::atomic<std::uint64_t> handle_seq{0};
     writer_tag_ = cfg_.client_host + "#" + std::to_string(++handle_seq);

@@ -1,5 +1,6 @@
 #include "simnet/timescale.hpp"
 
+#include <atomic>
 #include <mutex>
 #include <thread>
 
@@ -8,13 +9,23 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Seqlock'd piecewise-linear map from wall time to sim time. sim_now() is
+// on the hot path of every traced task, every shaped transfer and every
+// stats sample across all worker threads, so readers must not serialize on
+// a mutex: they snapshot the three parameters between two reads of an
+// epoch counter and retry on a torn window. Writers (set_time_scale — test
+// setup and scale changes only) serialize on a mutex and bump the epoch to
+// odd while rebasing. All fields are atomics so the unlocked reads are
+// well-defined (and TSan-clean); the acquire/release pairing on `seq`
+// orders them.
 struct ScaleState {
-  std::mutex mu;
-  double scale = 1.0;
-  double base_sim = 0.0;        // sim time at the last scale change
-  Clock::time_point base_wall;  // wall time at the last scale change
+  std::mutex write_mu;
+  std::atomic<unsigned> seq{0};  // even = stable; odd = rebase in progress
+  std::atomic<double> scale{1.0};
+  std::atomic<double> base_sim{0.0};  // sim time at the last scale change
+  std::atomic<Clock::rep> base_wall;  // wall ticks at the last scale change
 
-  ScaleState() : base_wall(Clock::now()) {}
+  ScaleState() : base_wall(Clock::now().time_since_epoch().count()) {}
 };
 
 ScaleState& state() {
@@ -22,34 +33,60 @@ ScaleState& state() {
   return s;
 }
 
-double sim_now_locked(ScaleState& s) {
-  const double wall =
-      std::chrono::duration<double>(Clock::now() - s.base_wall).count();
-  return s.base_sim + wall * s.scale;
+struct Snapshot {
+  double scale;
+  double base_sim;
+  Clock::rep base_wall;
+};
+
+Snapshot read_state() {
+  ScaleState& s = state();
+  for (;;) {
+    const unsigned v = s.seq.load(std::memory_order_acquire);
+    if (v & 1u) {
+      std::this_thread::yield();  // writer mid-rebase; rare
+      continue;
+    }
+    Snapshot snap;
+    snap.scale = s.scale.load(std::memory_order_relaxed);
+    snap.base_sim = s.base_sim.load(std::memory_order_relaxed);
+    snap.base_wall = s.base_wall.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) == v) return snap;
+  }
+}
+
+double sim_at(const Snapshot& snap, Clock::time_point wall) {
+  const double elapsed = std::chrono::duration<double>(
+                             wall - Clock::time_point(Clock::duration(
+                                        snap.base_wall)))
+                             .count();
+  return snap.base_sim + elapsed * snap.scale;
 }
 
 }  // namespace
 
-double time_scale() {
-  ScaleState& s = state();
-  std::lock_guard lk(s.mu);
-  return s.scale;
-}
+double time_scale() { return read_state().scale; }
 
 void set_time_scale(double sim_per_wall) {
   if (sim_per_wall <= 0.0) sim_per_wall = 1.0;
   ScaleState& s = state();
-  std::lock_guard lk(s.mu);
-  s.base_sim = sim_now_locked(s);
-  s.base_wall = Clock::now();
-  s.scale = sim_per_wall;
+  std::lock_guard lk(s.write_mu);
+  // Rebase from the *current* published mapping so the sim clock stays
+  // continuous across the change.
+  const Snapshot prev{s.scale.load(std::memory_order_relaxed),
+                      s.base_sim.load(std::memory_order_relaxed),
+                      s.base_wall.load(std::memory_order_relaxed)};
+  const Clock::time_point now = Clock::now();
+  s.seq.fetch_add(1, std::memory_order_release);  // odd: readers hold off
+  std::atomic_thread_fence(std::memory_order_release);
+  s.base_sim.store(sim_at(prev, now), std::memory_order_relaxed);
+  s.base_wall.store(now.time_since_epoch().count(), std::memory_order_relaxed);
+  s.scale.store(sim_per_wall, std::memory_order_relaxed);
+  s.seq.fetch_add(1, std::memory_order_release);  // even again: publish
 }
 
-double sim_now() {
-  ScaleState& s = state();
-  std::lock_guard lk(s.mu);
-  return sim_now_locked(s);
-}
+double sim_now() { return sim_at(read_state(), Clock::now()); }
 
 void sleep_sim(double sim_seconds) {
   if (sim_seconds <= 0.0) return;
@@ -58,12 +95,12 @@ void sleep_sim(double sim_seconds) {
 }
 
 std::chrono::steady_clock::time_point wall_deadline(double sim_deadline) {
-  ScaleState& s = state();
-  std::lock_guard lk(s.mu);
-  const double delta_sim = sim_deadline - sim_now_locked(s);
-  const double delta_wall = delta_sim / s.scale;
-  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                            std::chrono::duration<double>(delta_wall > 0 ? delta_wall : 0));
+  const Snapshot snap = read_state();
+  const Clock::time_point now = Clock::now();
+  const double delta_sim = sim_deadline - sim_at(snap, now);
+  const double delta_wall = delta_sim / snap.scale;
+  return now + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(delta_wall > 0 ? delta_wall : 0));
 }
 
 }  // namespace remio::simnet

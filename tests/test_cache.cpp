@@ -151,7 +151,7 @@ TEST(CacheConfig, ValidateRejectsInconsistentKnobs) {
 // --- AsyncEngine::try_submit ------------------------------------------------
 
 TEST(AsyncEngine, TrySubmitFailsOnFullQueueInsteadOfBlocking) {
-  AsyncEngine engine(1, 1, /*lazy_spawn=*/false);
+  AsyncEngine engine(1, 1);
   std::atomic<bool> release{false};
   std::atomic<int> ran{0};
   // Occupy the worker, then fill the 1-slot queue.

@@ -73,7 +73,7 @@ TEST_F(FailureTest, AsyncErrorDeliveredOnWaitNotSubmit) {
 }
 
 TEST_F(FailureTest, EngineKeepsServingAfterFailedTask) {
-  semplar::AsyncEngine engine(1, 16, false);
+  semplar::AsyncEngine engine(1, 16);
   auto bad = engine.submit([]() -> std::size_t { throw mpiio::IoError("boom"); });
   auto good = engine.submit([] { return std::size_t{11}; });
   EXPECT_THROW(bad.wait(), mpiio::IoError);
@@ -451,7 +451,7 @@ TEST_F(SupervisedFailureTest, EngineReplayDoesNotStallUnrelatedTasks) {
   retry.backoff_base = 60.0;
   retry.backoff_cap = 60.0;
   retry.jitter = 0.0;
-  semplar::AsyncEngine engine(1, 16, false, nullptr, retry);
+  semplar::AsyncEngine engine(1, 16, nullptr, retry);
   std::atomic<int> failures{0};
   mpiio::IoRequest doomed = engine.submit_supervised([&]() -> std::size_t {
     ++failures;
@@ -475,7 +475,7 @@ TEST_F(SupervisedFailureTest, ShutdownFailsParkedReplaysInsteadOfWaiting) {
   retry.backoff_base = 3600.0;  // absurd: shutdown must not wait this out
   retry.backoff_cap = 3600.0;
   retry.jitter = 0.0;
-  semplar::AsyncEngine engine(1, 16, false, nullptr, retry);
+  semplar::AsyncEngine engine(1, 16, nullptr, retry);
   mpiio::IoRequest doomed = engine.submit_supervised([]() -> std::size_t {
     throw mpiio::IoError({ErrorDomain::kTransport, 0, /*retryable=*/true, "t"},
                          "flaky");

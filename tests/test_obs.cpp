@@ -88,7 +88,7 @@ TEST(TracerTest, EngineDrainLeavesNoOrphanSpans) {
   Tracer tracer(1024);
   semplar::Stats stats;
   {
-    semplar::AsyncEngine engine(2, 64, /*lazy=*/false, &stats, {}, &tracer);
+    semplar::AsyncEngine engine(2, 64, &stats, {}, &tracer);
     std::vector<mpiio::IoRequest> reqs;
     for (int i = 0; i < 50; ++i)
       reqs.push_back(engine.submit([] { return std::size_t{128}; }));

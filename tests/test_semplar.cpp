@@ -56,7 +56,7 @@ TEST(Config, LazySpawnConvention) {
 // --- AsyncEngine ---------------------------------------------------------------
 
 TEST(AsyncEngine, ExecutesFifoSingleThread) {
-  AsyncEngine engine(1, 64, /*lazy_spawn=*/false);
+  AsyncEngine engine(1, 64);
   std::vector<int> order;
   std::mutex mu;
   std::vector<mpiio::IoRequest> reqs;
@@ -71,18 +71,40 @@ TEST(AsyncEngine, ExecutesFifoSingleThread) {
 }
 
 TEST(AsyncEngine, LazySpawnRunsOnFirstSubmit) {
-  AsyncEngine engine(1, 8, /*lazy_spawn=*/true);
+  AsyncEngine engine(0, 8);  // io_threads == 0: lazy single worker
   auto req = engine.submit([] { return std::size_t{7}; });
   EXPECT_EQ(req.wait(), 7u);
 }
 
-TEST(AsyncEngine, LazyWithMultipleThreadsRejected) {
-  EXPECT_THROW(AsyncEngine(2, 8, /*lazy_spawn=*/true), std::invalid_argument);
-  EXPECT_THROW(AsyncEngine(0, 8, false), std::invalid_argument);
+TEST(AsyncEngine, InvalidConstructionRejected) {
+  EXPECT_THROW(AsyncEngine(-1, 8), std::invalid_argument);
+  EXPECT_THROW(AsyncEngine(257, 8), std::invalid_argument);
+  EXPECT_THROW(AsyncEngine(1, 0), std::invalid_argument);
+}
+
+TEST(AsyncEngine, ThreadCountResolvesLazyConvention) {
+  // thread_count() reports the *effective* worker count, matching
+  // Config::effective_io_threads(): a lazy engine (io_threads == 0) is one
+  // worker whether or not it has spawned yet.
+  AsyncEngine lazy(0, 8);
+  EXPECT_EQ(lazy.thread_count(), 1);
+  EXPECT_TRUE(lazy.lazy());
+  lazy.submit([] { return std::size_t{0}; }).wait();
+  EXPECT_EQ(lazy.thread_count(), 1);  // unchanged by the spawn
+
+  AsyncEngine eager(3, 8);
+  EXPECT_EQ(eager.thread_count(), 3);
+  EXPECT_FALSE(eager.lazy());
+
+  Config cfg;
+  cfg.client_host = "node0";
+  cfg.io_threads = 0;
+  AsyncEngine from_cfg(cfg.io_threads, cfg.queue_capacity);
+  EXPECT_EQ(from_cfg.thread_count(), cfg.effective_io_threads());
 }
 
 TEST(AsyncEngine, MultiThreadConcurrency) {
-  AsyncEngine engine(4, 64, false);
+  AsyncEngine engine(4, 64);
   std::atomic<int> inflight{0};
   std::atomic<int> peak{0};
   std::vector<mpiio::IoRequest> reqs;
@@ -101,13 +123,13 @@ TEST(AsyncEngine, MultiThreadConcurrency) {
 }
 
 TEST(AsyncEngine, TaskErrorSurfacesOnWait) {
-  AsyncEngine engine(1, 8, false);
+  AsyncEngine engine(1, 8);
   auto req = engine.submit([]() -> std::size_t { throw mpiio::IoError("disk on fire"); });
   EXPECT_THROW(req.wait(), mpiio::IoError);
 }
 
 TEST(AsyncEngine, DrainWaitsForEverything) {
-  AsyncEngine engine(2, 64, false);
+  AsyncEngine engine(2, 64);
   std::atomic<int> done{0};
   for (int i = 0; i < 10; ++i)
     engine.submit([&] {
@@ -122,7 +144,7 @@ TEST(AsyncEngine, DrainWaitsForEverything) {
 TEST(AsyncEngine, ShutdownCompletesQueuedWork) {
   std::atomic<int> done{0};
   {
-    AsyncEngine engine(1, 64, false);
+    AsyncEngine engine(1, 64);
     for (int i = 0; i < 5; ++i)
       engine.submit([&] {
         ++done;
@@ -133,7 +155,7 @@ TEST(AsyncEngine, ShutdownCompletesQueuedWork) {
 }
 
 TEST(AsyncEngine, SubmitAfterShutdownFails) {
-  AsyncEngine engine(1, 8, false);
+  AsyncEngine engine(1, 8);
   engine.shutdown();
   auto req = engine.submit([] { return std::size_t{0}; });
   EXPECT_THROW(req.wait(), mpiio::IoError);
@@ -141,7 +163,7 @@ TEST(AsyncEngine, SubmitAfterShutdownFails) {
 
 TEST(AsyncEngine, StatsTrackTasksAndQueue) {
   Stats stats;
-  AsyncEngine engine(1, 64, false, &stats);
+  AsyncEngine engine(1, 64, &stats);
   std::vector<mpiio::IoRequest> reqs;
   for (int i = 0; i < 6; ++i)
     reqs.push_back(engine.submit([] { return std::size_t{0}; }));
