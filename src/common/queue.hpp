@@ -168,20 +168,27 @@ class WorkStealingDeque {
   }
 
   /// Owner only. LIFO; false when empty (or the last item was stolen).
+  ///
+  /// The two rollback stores below are `release`, not relaxed: a thief
+  /// whose bottom_ load reads one of them must inherit visibility of the
+  /// owner's last ring_.store(release) in grow() (since C++20 a plain
+  /// later store does not extend a release sequence, so a relaxed
+  /// rollback would let the thief index a grown ring through the retired
+  /// one and steal a recycled slot).
   bool pop(T& out) {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Ring* r = ring_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_seq_cst);
     if (t > b) {  // empty: undo the reservation
-      bottom_.store(b + 1, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_release);
       return false;
     }
     if (t == b) {
       // Last element: race the thieves for it via the top CAS.
       const bool won = top_.compare_exchange_strong(
           t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
-      bottom_.store(b + 1, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_release);
       if (!won) return false;
       out = r->slot(b).load(std::memory_order_relaxed);
       return true;

@@ -23,6 +23,18 @@ constexpr double kDequeueUnset = -1.0;
 // Config::Engine::inject_batch is clamped to this.
 constexpr int kInjectBatchMax = 64;
 
+// Directly constructed engines bypass Config's validation (config.cpp), so
+// the ctor clamps the tuning knobs to the same ranges. Without this,
+// steal_rounds <= 0 silently disables work stealing (tasks parked in a busy
+// worker's deque wait for that worker) and an absurd spin_polls burns CPU
+// before parking.
+Config::Engine sanitize_tuning(Config::Engine t) {
+  t.steal_rounds = std::clamp(t.steal_rounds, 1, 64);
+  t.inject_batch = std::clamp(t.inject_batch, 1, kInjectBatchMax);
+  t.spin_polls = std::clamp(t.spin_polls, 0, 1 << 20);
+  return t;
+}
+
 // Worker identity, so submissions from a worker thread (prefetch chains,
 // nested speculation) are routed to that worker's own deque instead of the
 // bounded injection queue a worker could deadlock against.
@@ -50,6 +62,7 @@ struct AsyncEngine::Item {
   Completion done;
   bool supervised = false;
   int attempt = 0;      // completed attempts (replay counter)
+  std::uint32_t gen_slot = 0;  // drain-generation slot claimed at dispatch
   double start_sim = 0.0;  // first submission, for the op deadline
   obs::Span span;
 };
@@ -159,7 +172,7 @@ AsyncEngine::AsyncEngine(int io_threads, std::size_t queue_capacity,
     : threads_(io_threads <= 0 ? 1 : io_threads),
       lazy_(io_threads <= 0),
       capacity_(queue_capacity),
-      tuning_(tuning),
+      tuning_(sanitize_tuning(tuning)),
       stats_(stats),
       tracer_(tracer),
       retry_(retry),
@@ -208,6 +221,18 @@ void AsyncEngine::shutdown() {
   }
   if (timer_.joinable()) timer_.join();
   closed_.store(true, std::memory_order_seq_cst);
+  // Consume the spawn flag. On a lazy engine that was never used, a later
+  // submit()'s ensure_spawned() must not spawn workers after this shutdown
+  // completed — nobody would join them and Worker's ~thread would
+  // std::terminate on a joinable thread. If an ensure_spawned() is active
+  // right now, call_once blocks until its spawn finishes and the joins
+  // below reap the threads; if we consume the flag first, later
+  // ensure_spawned() calls are no-ops whose call_once synchronization
+  // also publishes the closed_ store above, so their submits fail cleanly.
+  // Ordering matters: consuming *before* closed_ is set would let a racing
+  // submit find the flag spent and the engine still open, stranding its
+  // item in a pool with no workers.
+  std::call_once(spawn_once_, [] {});
   // Wait out in-flight submitters: each is past its closed-check, so its
   // push either lands (workers drain it below) or backs out on a full
   // queue and re-checks closed. After this spin no new item can appear.
@@ -219,32 +244,45 @@ void AsyncEngine::shutdown() {
 }
 
 void AsyncEngine::drain() {
-  // Snapshot barrier: wait for the backlog that existed at entry, not for
-  // the engine to go idle. Against a continuous submit stream pending_ may
-  // never cross zero, but completed_epoch_ is monotone and every pre-call
-  // submission completes (or is failed) exactly once, so the wait is
-  // bounded by the entry backlog.
-  const std::uint64_t target =
-      submitted_epoch_.load(std::memory_order_seq_cst);
+  // Snapshot barrier over the two-slot generation ledger (see the header).
+  // A global completed-count cannot express "everything enqueued so far":
+  // it also counts tasks submitted after the snapshot, and those could
+  // satisfy the barrier while a slow pre-snapshot task was still running.
+  // Here every pre-snapshot dispatch holds a claim on slot g&1 (or, for a
+  // straggler that raced an earlier flip, on the other slot — which is why
+  // the pre-flip wait comes first), and post-flip dispatches claim only
+  // (g+1)&1, so each wait is bounded by work dispatched before the flip
+  // even against a continuous submit stream.
+  //
+  // A dispatch concurrent with the flip may stamp either generation; both
+  // are safe. Old stamp: we wait for it (conservative). New stamp: its
+  // push had not landed when the flip happened, so it is not "enqueued so
+  // far" and the snapshot owes it nothing.
+  std::lock_guard serial(drain_serial_mu_);  // drains serialize; each bounded
+  const std::uint64_t g = drain_gen_.load(std::memory_order_seq_cst);
+  await_gen_zero((g + 1) & 1);  // stragglers stamped before earlier flips
+  drain_gen_.store(g + 1, std::memory_order_seq_cst);
+  await_gen_zero(g & 1);  // the snapshot generation itself
+}
+
+void AsyncEngine::await_gen_zero(std::uint32_t slot) {
   std::unique_lock lk(pending_mu_);
   drain_waiters_.fetch_add(1, std::memory_order_seq_cst);
-  pending_cv_.wait(lk, [this, target] {
-    return completed_epoch_.load(std::memory_order_seq_cst) >= target;
+  pending_cv_.wait(lk, [this, slot] {
+    return gen_outstanding_[slot].load(std::memory_order_seq_cst) == 0;
   });
   drain_waiters_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void AsyncEngine::task_done() {
-  // Epoch first, then the count: when pending_ hits zero the epoch already
-  // covers this completion. The zero crossing is the cheap steady-state
-  // wake condition; while a drainer is registered every completion
-  // notifies, because the drainer's target may land mid-stream. seq_cst on
-  // the epoch/waiter pair mirrors drain(): if we read drain_waiters_ == 0
-  // here, the drainer registered later and its predicate check (which
-  // follows the registration) observes our epoch increment.
-  completed_epoch_.fetch_add(1, std::memory_order_seq_cst);
-  const bool zero = pending_.fetch_sub(1, std::memory_order_acq_rel) == 1;
-  if (zero || drain_waiters_.load(std::memory_order_seq_cst) > 0) {
+void AsyncEngine::task_done(std::uint32_t gen_slot) {
+  // Release the dispatch-time generation claim, then wake any drainer.
+  // seq_cst on the counter/waiter pair mirrors await_gen_zero(): if we
+  // read drain_waiters_ == 0 here, the drainer registered later and its
+  // predicate check (which follows the registration) observes our
+  // decrement — no completion can slip between a drainer's registration
+  // and its first predicate evaluation unnoticed.
+  gen_outstanding_[gen_slot & 1].fetch_sub(1, std::memory_order_seq_cst);
+  if (drain_waiters_.load(std::memory_order_seq_cst) > 0) {
     std::lock_guard lk(pending_mu_);
     pending_cv_.notify_all();
   }
@@ -292,9 +330,12 @@ bool AsyncEngine::inject(Item* item, bool blocking) {
 bool AsyncEngine::dispatch(Item* item, bool blocking) {
   // On success the engine owns the item. On failure (closed, or full in
   // non-blocking mode) the caller still owns it and must destroy/fail it;
-  // the pending count and queue-depth gauge claimed here are rolled back.
-  pending_.fetch_add(1, std::memory_order_relaxed);
-  submitted_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  // the generation claim and queue-depth gauge taken here are rolled back.
+  // The claim precedes the push: any item visible in a queue is already
+  // counted, so a drain that snapshots after the push waits for it.
+  const std::uint64_t g = drain_gen_.load(std::memory_order_seq_cst);
+  item->gen_slot = static_cast<std::uint32_t>(g & 1);
+  gen_outstanding_[item->gen_slot].fetch_add(1, std::memory_order_seq_cst);
   // Gauge before the push: a worker may pop and decrement the instant the
   // item lands, and the gauge must not go transiently negative or
   // under-report the watermark.
@@ -318,7 +359,7 @@ bool AsyncEngine::dispatch(Item* item, bool blocking) {
   }
   if (!ok) {
     if (tracer_ != nullptr) tracer_->gauge(obs::GaugeId::kQueueDepth).add(-1);
-    task_done();
+    task_done(item->gen_slot);
   }
   return ok;
 }
@@ -413,8 +454,9 @@ void AsyncEngine::worker_loop(int self) {
 AsyncEngine::Item* AsyncEngine::find_task(int self, std::uint32_t& rng_state) {
   Worker& me = *workers_[static_cast<std::size_t>(self)];
   Item* it = nullptr;
-  const int spin = std::max(tuning_.spin_polls, 0);
-  for (int poll = 0; poll <= spin; ++poll) {
+  // tuning_ is ctor-sanitized: spin_polls >= 0, 1 <= inject_batch <=
+  // kInjectBatchMax, steal_rounds >= 1.
+  for (int poll = 0; poll <= tuning_.spin_polls; ++poll) {
     // 1. Own deque, LIFO — freshest task, warmest cache.
     if (me.deque.pop(it)) return it;
 
@@ -423,8 +465,7 @@ AsyncEngine::Item* AsyncEngine::find_task(int self, std::uint32_t& rng_state) {
     // (load-bearing with one worker, where FIFO execution is contractual;
     // with many it amortizes ring CAS traffic and feeds the thieves).
     Item* batch[kInjectBatchMax];
-    const auto want = static_cast<std::size_t>(
-        std::clamp(tuning_.inject_batch, 1, kInjectBatchMax));
+    const auto want = static_cast<std::size_t>(tuning_.inject_batch);
     const std::size_t n = inject_.try_pop_batch(batch, want);
     if (n > 0) {
       inject_size_.fetch_sub(static_cast<std::int64_t>(n),
@@ -612,8 +653,9 @@ void AsyncEngine::finish(Item* item, std::size_t n) {
   }
   mpiio::IoRequest::complete(item->state, n);
   if (item->done) item->done(n, nullptr);
+  const std::uint32_t slot = item->gen_slot;
   destroy(item);
-  task_done();
+  task_done(slot);
 }
 
 void AsyncEngine::fail_item(Item* item, std::exception_ptr err) {
@@ -626,8 +668,9 @@ void AsyncEngine::fail_item(Item* item, std::exception_ptr err) {
   }
   mpiio::IoRequest::fail(item->state, err);
   if (item->done) item->done(0, err);
+  const std::uint32_t slot = item->gen_slot;
   destroy(item);
-  task_done();
+  task_done(slot);
 }
 
 void AsyncEngine::handle_failure(Item* item, std::exception_ptr err) {
@@ -725,8 +768,8 @@ void AsyncEngine::timer_loop() {
     lk.unlock();
     // Back into the injection queue: the replay runs in arrival order with
     // whatever else is queued, on whichever worker frees up first — often a
-    // different one than the first attempt. The item's pending count from
-    // its original submission still stands, so drain() keeps waiting.
+    // different one than the first attempt. The item's generation claim
+    // from its original submission still stands, so drain() keeps waiting.
     if (!inject(item, /*blocking=*/true)) {
       // Engine closed under us: roll back the queue-depth gauge and fail
       // the replay (fail_item records its kTask span, keeping the

@@ -179,7 +179,8 @@ class AsyncEngine {
   void handle_failure(Item* item, std::exception_ptr err);
   void defer(Item* item, double due);
   void destroy(Item* item);
-  void task_done();
+  void task_done(std::uint32_t gen_slot);
+  void await_gen_zero(std::uint32_t slot);
 
   const int threads_;  // effective worker count (>= 1)
   const bool lazy_;
@@ -228,14 +229,21 @@ class AsyncEngine {
   bool timer_spawned_ = false;
   bool timer_stop_ = false;
 
-  // Outstanding (queued, running, or deferred) task count, plus monotone
-  // submit/complete epochs for drain()'s snapshot barrier: a drainer waits
-  // for completed_epoch_ to reach the submitted_epoch_ it read on entry,
-  // never for global idleness. The mutex is only touched at the zero
-  // crossing and, while a drainer is registered, per completion.
-  std::atomic<std::size_t> pending_{0};
-  std::atomic<std::uint64_t> submitted_epoch_{0};
-  std::atomic<std::uint64_t> completed_epoch_{0};
+  // drain()'s snapshot barrier: a two-slot generation ledger instead of a
+  // global completed-count (a global count also counts tasks submitted
+  // AFTER the snapshot, which could satisfy the barrier while a slow
+  // pre-snapshot task was still running). Every dispatch stamps its Item
+  // with the current drain generation and raises that generation's
+  // outstanding counter; the final completion lowers it. drain() — drains
+  // are serialized on drain_serial_mu_ — first waits out the *other* slot
+  // (stragglers from older generations), then flips drain_gen_ and waits
+  // for the snapshot slot to hit zero. New submissions land in the flipped
+  // slot, so they can never satisfy the barrier; the wait is bounded by
+  // work dispatched before the flip. The mutex/condvar pair is only
+  // touched per-completion while a drainer is registered.
+  std::mutex drain_serial_mu_;
+  std::atomic<std::uint64_t> drain_gen_{0};
+  std::atomic<std::int64_t> gen_outstanding_[2] = {{0}, {0}};
   std::atomic<int> drain_waiters_{0};
   std::mutex pending_mu_;
   std::condition_variable pending_cv_;

@@ -106,6 +106,48 @@ TEST(EngineMatrix, DrainUnderConcurrentSubmitters) {
   EXPECT_EQ(completed.load(), submitted.load());
 }
 
+TEST(EngineMatrix, DrainWaitsForSlowPreDrainTaskDespiteLaterCompletions) {
+  // Regression: the snapshot barrier must track the snapshot *set*, not a
+  // global completion count. A slow task submitted before drain() pins one
+  // worker while hundreds of post-drain submissions complete on the others;
+  // a count-based barrier (completed >= submitted-at-entry) is satisfied by
+  // those later completions and returns with the pre-drain task still
+  // running. The generation ledger must keep the drainer blocked until the
+  // slow task itself finishes.
+  const int threads = matrix_threads();
+  AsyncEngine engine(threads, 64);
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  std::atomic<bool> slow_done{false};
+  auto slow = engine.submit([&]() -> std::size_t {
+    started.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    slow_done.store(true, std::memory_order_release);
+    return std::size_t{7};
+  });
+  while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+  std::atomic<bool> drained{false};
+  std::thread drainer([&] {
+    engine.drain();
+    drained.store(true, std::memory_order_release);
+  });
+  // Let the drainer take its snapshot, then push the global completion
+  // count far past the snapshot-time submit count. With one worker the
+  // quick tasks queue behind the hog, so only assert their completion on
+  // multi-worker pools (the premature-return bug is a multi-worker race).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  if (threads > 1) {
+    for (int i = 0; i < 200; ++i)
+      engine.submit([] { return std::size_t{0}; }).wait();
+  }
+  EXPECT_FALSE(drained.load(std::memory_order_acquire));
+  release.store(true, std::memory_order_release);
+  drainer.join();
+  EXPECT_TRUE(slow_done.load(std::memory_order_acquire));
+  EXPECT_EQ(slow.wait(), 7u);
+}
+
 TEST(EngineMatrix, TrySubmitStormNeverBlocksAndNeverLoses) {
   // Speculative submissions racing real ones: try_submit either lands (and
   // runs exactly once) or reports false — never blocks, never double-runs.
@@ -158,6 +200,36 @@ TEST(WorkStealingEngine, StealsObservedWithImbalancedLoad) {
   EXPECT_EQ(ran.load(), 32);
   EXPECT_EQ(snap.async_tasks, 33u);
   EXPECT_GT(snap.steals, 0u);
+}
+
+TEST(WorkStealingEngine, DegenerateTuningIsClampedStealingStillWorks) {
+  // Directly constructed engines bypass Config validation; the ctor must
+  // clamp the knobs itself. steal_rounds = 0 would silently disable the
+  // steal sweep (this fan-out would then serialize on one worker and the
+  // steal counter would stay 0); negative spin_polls would skip the scan
+  // loop entirely; an oversized inject_batch would overrun find_task's
+  // stack batch buffer if taken at face value.
+  Config::Engine t;
+  t.steal_rounds = 0;
+  t.spin_polls = -5;
+  t.inject_batch = 1 << 20;
+  Stats stats;
+  AsyncEngine engine(4, 256, &stats, {}, nullptr, t);
+  std::atomic<int> ran{0};
+  engine
+      .submit([&] {
+        for (int i = 0; i < 32; ++i)
+          engine.submit([&ran] {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            return std::size_t{0};
+          });
+        return std::size_t{0};
+      })
+      .wait();
+  engine.drain();
+  EXPECT_EQ(ran.load(), 32);
+  EXPECT_GT(stats.snapshot().steals, 0u);
 }
 
 TEST(WorkStealingEngine, ParkedWorkersWakeOnSubmit) {

@@ -161,6 +161,22 @@ TEST(AsyncEngine, SubmitAfterShutdownFails) {
   EXPECT_THROW(req.wait(), mpiio::IoError);
 }
 
+TEST(AsyncEngine, LazyEngineSubmitAfterShutdownFailsAndSpawnsNothing) {
+  // Regression: shutting down a lazy engine that was never used leaves the
+  // spawn flag unconsumed. A later submit()'s ensure_spawned() must not
+  // spawn workers then — nobody joins them, and destroying a Worker whose
+  // std::thread is still joinable calls std::terminate. shutdown() consumes
+  // the flag, so the submit fails with the shutdown error and the dtor has
+  // nothing left to reap.
+  AsyncEngine engine(0, 8);  // lazy: no worker until the first async call
+  engine.shutdown();
+  auto req = engine.submit([] { return std::size_t{1}; });
+  EXPECT_THROW(req.wait(), mpiio::IoError);
+  EXPECT_FALSE(engine.try_submit([] { return std::size_t{0}; }));
+  mpiio::IoRequest sup = engine.submit_supervised([] { return std::size_t{0}; });
+  EXPECT_THROW(sup.wait(), mpiio::IoError);
+}  // engine dtor: must not terminate on an unjoined worker
+
 TEST(AsyncEngine, StatsTrackTasksAndQueue) {
   Stats stats;
   AsyncEngine engine(1, 64, &stats);
