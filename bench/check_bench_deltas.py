@@ -131,6 +131,32 @@ def check_ablation(args):
             timing_delta(cell, field, b[field], r[field], args.warn_pct)
 
 
+def check_sieving(args):
+    base, run = load_pair(args.baseline_dir, args.run_dir,
+                          "BENCH_ablation_sieving.json")
+    if base is None:
+        return
+    key = lambda c: (c["op"], c["strategy"], c["extents"], c["extent_bytes"])
+    base_by = {key(c): c for c in base.get("cells", [])}
+    run_by = {key(c): c for c in run.get("cells", [])}
+    if sorted(base_by) != sorted(run_by):
+        fail(f"sieving: grid shape drifted\n    baseline: {sorted(base_by)}\n"
+             f"    run:      {sorted(run_by)}")
+        return
+    note("sieving timing deltas (warn-only):")
+    for k in sorted(base_by):
+        b, r = base_by[k], run_by[k]
+        # Round trips per pattern are the whole point of the ablation: naive
+        # pays one per extent, sieving one hull fetch (two for RMW writes),
+        # list I/O one message per 1024-extent batch. Deterministic.
+        for field in ("wire_ops", "bytes"):
+            if b[field] != r[field]:
+                fail(f"sieving {k}: stable field '{field}' drifted "
+                     f"{b[field]} -> {r[field]}")
+        timing_delta("x".join(str(p) for p in k), "sim_s",
+                     b["sim_s"], r["sim_s"], args.warn_pct)
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--baseline-dir", default="bench/baseline")
@@ -142,6 +168,7 @@ def main():
     check_workloads(args)
     check_substrate(args)
     check_ablation(args)
+    check_sieving(args)
 
     if failures:
         note(f"\n{len(failures)} stable-field failure(s).")

@@ -111,8 +111,30 @@ void BlockCache::fill_block(Lock& lk, Block& b, std::size_t target) {
 // ---------------------------------------------------------------------------
 
 std::size_t BlockCache::read(std::uint64_t offset, MutByteSpan out) {
-  if (out.empty()) return 0;
   Lock lk(mu_);
+  return read_locked(lk, offset, out);
+}
+
+std::size_t BlockCache::readv(const ExtentList& extents, MutByteSpan out) {
+  // One lock acquisition for the whole list; fills still release the lock
+  // per block. Only the blocks an extent actually touches are filled, so
+  // the holes between extents never hit the wire (hole-aware fills).
+  Lock lk(mu_);
+  std::size_t total = 0;
+  std::size_t packed = 0;
+  for (const Extent& x : extents) {
+    const auto want = static_cast<std::size_t>(x.len);
+    const std::size_t n = read_locked(lk, x.offset, out.subspan(packed, want));
+    total += n;
+    packed += want;
+    if (n < want) break;  // EOF: a sorted list has nothing further
+  }
+  return total;
+}
+
+std::size_t BlockCache::read_locked(Lock& lk, std::uint64_t offset,
+                                    MutByteSpan out) {
+  if (out.empty()) return 0;
   // Refresh EOF knowledge when the request reaches past what we believe
   // exists (covers files grown by other handles between coherence checks).
   if (offset + out.size() > known_size_) {
@@ -180,8 +202,25 @@ std::size_t BlockCache::read(std::uint64_t offset, MutByteSpan out) {
 // ---------------------------------------------------------------------------
 
 std::size_t BlockCache::write(std::uint64_t offset, ByteSpan data) {
-  if (data.empty()) return 0;
   Lock lk(mu_);
+  return write_locked(lk, offset, data);
+}
+
+std::size_t BlockCache::writev(const ExtentList& extents, ByteSpan data) {
+  Lock lk(mu_);
+  std::size_t total = 0;
+  std::size_t packed = 0;
+  for (const Extent& x : extents) {
+    const auto len = static_cast<std::size_t>(x.len);
+    total += write_locked(lk, x.offset, data.subspan(packed, len));
+    packed += len;
+  }
+  return total;
+}
+
+std::size_t BlockCache::write_locked(Lock& lk, std::uint64_t offset,
+                                     ByteSpan data) {
+  if (data.empty()) return 0;
   bool crossed_hwm = false;
   std::size_t done = 0;
   while (done < data.size()) {
@@ -225,8 +264,11 @@ std::size_t BlockCache::write(std::uint64_t offset, ByteSpan data) {
 
   if (writeback_.write_through()) {
     // Cache updated for future reads; the write itself goes straight out.
+    // Re-lock afterwards: writev loops back into write_locked.
     lk.unlock();
-    return backend_.cache_pwrite(offset, data);
+    const std::size_t n = backend_.cache_pwrite(offset, data);
+    lk.lock();
+    return n;
   }
   if (crossed_hwm) flush_all(lk);
   return data.size();
@@ -265,7 +307,7 @@ std::size_t BlockCache::flush_planned(
   writes.reserve(runs.size());
   for (const auto& run : runs) {
     Bytes buf;
-    buf.reserve(run.bytes);
+    buf.reserve(static_cast<std::size_t>(run.extent.len));
     for (const auto& [index, range] : run.parts) {
       const Block& b = blocks_.at(index);
       buf.insert(buf.end(),
@@ -273,7 +315,7 @@ std::size_t BlockCache::flush_planned(
                  b.data.begin() + static_cast<std::ptrdiff_t>(range.end));
       writeback_.clear(index);
     }
-    writes.emplace_back(run.file_offset, std::move(buf));
+    writes.emplace_back(run.extent.offset, std::move(buf));
   }
 
   lk.unlock();

@@ -30,6 +30,7 @@
 #include "cache/prefetcher.hpp"
 #include "cache/writeback.hpp"
 #include "common/bytes.hpp"
+#include "common/extent.hpp"
 #include "obs/tracer.hpp"
 
 namespace remio::cache {
@@ -71,6 +72,14 @@ class BlockCache {
   std::size_t read(std::uint64_t offset, MutByteSpan out);
   std::size_t write(std::uint64_t offset, ByteSpan data);
 
+  /// Vectored flavours over a sorted, disjoint extent list and a packed
+  /// buffer. One lock acquisition for the whole list; fills are block-
+  /// granular, so the holes between extents are never fetched. A strided
+  /// write rides the normal dirty-marking, giving it the same read-modify-
+  /// write and write-behind coalescing as contiguous writes.
+  std::size_t readv(const ExtentList& extents, MutByteSpan out);
+  std::size_t writev(const ExtentList& extents, ByteSpan data);
+
   /// Writes back everything dirty, coalesced into contiguous runs; returns
   /// bytes put on the wire.
   std::size_t flush();
@@ -104,6 +113,12 @@ class BlockCache {
   };
 
   using Lock = std::unique_lock<std::mutex>;
+
+  /// read()/write() bodies with the lock already held; readv/writev loop
+  /// these per extent under one acquisition. Both may release and retake
+  /// the lock around wire transfers but return with it held.
+  std::size_t read_locked(Lock& lk, std::uint64_t offset, MutByteSpan out);
+  std::size_t write_locked(Lock& lk, std::uint64_t offset, ByteSpan data);
 
   /// Finds or creates the block, waits out any in-flight fill, pins it and
   /// front-moves its LRU slot. May release the lock (fills, eviction I/O).

@@ -43,14 +43,12 @@ std::vector<WritebackBuffer::Run> WritebackBuffer::plan(
   std::vector<Run> runs;
   for (const auto& [index, range] : dirty_) {
     const std::uint64_t start = index * block_bytes + range.begin;
-    if (!runs.empty() &&
-        runs.back().file_offset + runs.back().bytes == start) {
-      runs.back().bytes += range.size();
+    if (!runs.empty() && runs.back().extent.end() == start) {
+      runs.back().extent.len += range.size();
       runs.back().parts.emplace_back(index, range);
     } else {
       Run run;
-      run.file_offset = start;
-      run.bytes = range.size();
+      run.extent = {start, range.size()};
       run.parts.emplace_back(index, range);
       runs.push_back(std::move(run));
     }
@@ -64,8 +62,7 @@ std::vector<WritebackBuffer::Run> WritebackBuffer::plan_block(
   auto it = dirty_.find(index);
   if (it == dirty_.end()) return runs;
   Run run;
-  run.file_offset = index * block_bytes + it->second.begin;
-  run.bytes = it->second.size();
+  run.extent = {index * block_bytes + it->second.begin, it->second.size()};
   run.parts.emplace_back(index, it->second);
   runs.push_back(std::move(run));
   return runs;

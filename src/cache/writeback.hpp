@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cache/cache_stats.hpp"
+#include "common/extent.hpp"
 
 namespace remio::cache {
 
@@ -36,10 +37,10 @@ class WritebackBuffer {
   };
 
   /// A flush run: one contiguous file range assembled from the trailing/
-  /// leading dirty intervals of consecutive blocks — one wire write.
+  /// leading dirty intervals of consecutive blocks — one wire write. The
+  /// file range is the shared remio::Extent vocabulary (offset + len).
   struct Run {
-    std::uint64_t file_offset = 0;
-    std::size_t bytes = 0;
+    remio::Extent extent;
     std::vector<std::pair<std::uint64_t, Range>> parts;  // (block index, range)
   };
 

@@ -1,0 +1,71 @@
+#include "common/extent.hpp"
+
+#include <algorithm>
+
+namespace remio {
+
+std::uint64_t total_bytes(const ExtentList& xs) {
+  std::uint64_t n = 0;
+  for (const Extent& x : xs) n += x.len;
+  return n;
+}
+
+bool is_sorted_disjoint(const ExtentList& xs) {
+  std::uint64_t watermark = 0;
+  bool first = true;
+  for (const Extent& x : xs) {
+    if (x.len == 0) return false;
+    if (!first && x.offset < watermark) return false;
+    watermark = x.end();
+    first = false;
+  }
+  return true;
+}
+
+ExtentList normalized(ExtentList xs) {
+  xs.erase(std::remove_if(xs.begin(), xs.end(),
+                          [](const Extent& x) { return x.len == 0; }),
+           xs.end());
+  std::sort(xs.begin(), xs.end(), [](const Extent& a, const Extent& b) {
+    return a.offset < b.offset;
+  });
+  ExtentList out;
+  out.reserve(xs.size());
+  for (const Extent& x : xs) {
+    if (!out.empty() && x.offset <= out.back().end()) {
+      out.back().len = std::max(out.back().end(), x.end()) - out.back().offset;
+    } else {
+      out.push_back(x);
+    }
+  }
+  return out;
+}
+
+Extent hull(const ExtentList& xs) {
+  if (xs.empty()) return {};
+  return {xs.front().offset, xs.back().end() - xs.front().offset};
+}
+
+ExtentList intersect(const ExtentList& xs, Extent window) {
+  ExtentList out;
+  for (const Extent& x : xs) {
+    const std::uint64_t lo = std::max(x.offset, window.offset);
+    const std::uint64_t hi = std::min(x.end(), window.end());
+    if (lo < hi) out.push_back({lo, hi - lo});
+  }
+  return out;
+}
+
+ExtentList concat_layout(std::uint64_t base,
+                         const std::vector<std::uint64_t>& sizes) {
+  ExtentList out;
+  out.reserve(sizes.size());
+  std::uint64_t off = base;
+  for (std::uint64_t n : sizes) {
+    out.push_back({off, n});
+    off += n;
+  }
+  return out;
+}
+
+}  // namespace remio

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "simnet/fabric.hpp"
@@ -77,6 +78,27 @@ struct Config {
   /// 0 = write-through (every write goes to the broker immediately, the
   /// cache only absorbs re-reads). Needs cache_bytes > 0.
   std::size_t writeback_hwm = 0;
+
+  /// Noncontiguous-transfer optimization (data sieving + list I/O, Thakur
+  /// et al.). Default OFF: a vectored request then lowers to one wire op
+  /// per extent, preserving the paper's baseline behaviour. With
+  /// enabled == true, srbfs picks a strategy per request: extent hulls no
+  /// larger than max_hull_bytes go through data sieving (one contiguous
+  /// wire transfer of the hull + client-side scatter/gather); anything
+  /// sparser goes through the kObjReadList/kObjWriteList verbs, batched at
+  /// max_extents_per_msg extents per message.
+  struct Sieve {
+    enum class Mode { kAuto = 0, kNaive = 1, kSieve = 2, kList = 3 };
+    bool enabled = false;
+    /// Strategy override; kAuto applies the hull heuristic above. The
+    /// forced modes exist for the ablation bench and tests.
+    Mode mode = Mode::kAuto;
+    /// Largest extent hull (bytes) data sieving will fetch in one piece.
+    std::size_t max_hull_bytes = 4u << 20;
+    /// Extents per list-I/O message (hard-capped at srb::kMaxListExtents).
+    std::uint32_t max_extents_per_msg = 1024;
+  };
+  Sieve sieve;
 
   /// Per-connection transport tuning (TCP window, shared-resource charges
   /// such as the node I/O bus).

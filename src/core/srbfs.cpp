@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <iostream>
+#include <vector>
 
 #include "simnet/timescale.hpp"
 
@@ -274,6 +275,282 @@ mpiio::IoRequest SemplarFile::submit_striped(std::uint64_t offset, Span data) {
         });
   }
   return master;
+}
+
+// --- noncontiguous strategies ----------------------------------------------
+
+SemplarFile::Strategy SemplarFile::pick_strategy(
+    const ExtentList& extents) const {
+  if (!cfg_.sieve.enabled) return Strategy::kNaive;
+  switch (cfg_.sieve.mode) {
+    case Config::Sieve::Mode::kNaive: return Strategy::kNaive;
+    case Config::Sieve::Mode::kSieve: return Strategy::kSieve;
+    case Config::Sieve::Mode::kList: return Strategy::kList;
+    case Config::Sieve::Mode::kAuto: break;
+  }
+  // Auto heuristic: sieve while the hull (extents plus the holes between
+  // them) is small enough that shipping the holes beats the per-extent
+  // round trips; hand larger or sparser patterns to the list verb.
+  return hull(extents).len <= cfg_.sieve.max_hull_bytes ? Strategy::kSieve
+                                                        : Strategy::kList;
+}
+
+namespace {
+
+/// One kSieve/kListIo span covering a whole strategy transfer on one
+/// stream. Rides the enclosing engine task's op id when there is one, so
+/// the trace ties hull fetches and list batches back to their request.
+void record_strategy_span(obs::Tracer* tracer, obs::SpanKind kind,
+                          std::size_t bytes, double t0) {
+  if (tracer == nullptr) return;
+  obs::Span s;
+  const obs::Span* op = obs::current_op_span();
+  s.op_id = op != nullptr ? op->op_id : tracer->next_op_id();
+  s.kind = kind;
+  s.bytes = bytes;
+  s.enqueue = s.dequeue = s.wire_start = t0;
+  s.wire_end = simnet::sim_now();
+  tracer->record(s);
+}
+
+}  // namespace
+
+template <bool IsWrite, class Span>
+std::size_t SemplarFile::transfer_extents(Strategy strategy, int stream,
+                                          const ExtentList& extents, Span data,
+                                          bool once) {
+  if (extents.empty()) return 0;
+  const double t0 = tracer_ != nullptr ? simnet::sim_now() : 0.0;
+
+  if (strategy == Strategy::kList) {
+    std::size_t moved;
+    if constexpr (IsWrite) {
+      moved = once ? streams_->pwritev_once(stream, extents, data)
+                   : streams_->pwritev(stream, extents, data);
+    } else {
+      moved = once ? streams_->preadv_once(stream, extents, data)
+                   : streams_->preadv(stream, extents, data);
+    }
+    record_strategy_span(tracer_.get(), obs::SpanKind::kListIo, moved, t0);
+    return moved;
+  }
+
+  if (strategy == Strategy::kSieve) {
+    const Extent h = hull(extents);
+    Bytes scratch(static_cast<std::size_t>(h.len));  // zero-filled
+    std::size_t moved = 0;
+    if constexpr (IsWrite) {
+      // Read-modify-write: fetch the pre-image so the holes between
+      // extents survive the hull write. Bytes past EOF stay zero, which
+      // matches the broker's sparse-object semantics for a hole created
+      // by extending per-extent writes.
+      const MutByteSpan pre(scratch.data(), scratch.size());
+      once ? streams_->pread_once(stream, pre, h.offset)
+           : streams_->pread(stream, pre, h.offset);
+      for (const Extent& x : extents) {
+        std::copy_n(data.data() + moved, static_cast<std::size_t>(x.len),
+                    scratch.data() + (x.offset - h.offset));
+        moved += static_cast<std::size_t>(x.len);
+      }
+      const ByteSpan image(scratch.data(), scratch.size());
+      once ? streams_->pwrite_once(stream, image, h.offset)
+           : streams_->pwrite(stream, image, h.offset);
+    } else {
+      const MutByteSpan in(scratch.data(), scratch.size());
+      const std::size_t got = once ? streams_->pread_once(stream, in, h.offset)
+                                   : streams_->pread(stream, in, h.offset);
+      for (const Extent& x : extents) {
+        const std::uint64_t rel = x.offset - h.offset;
+        const std::size_t avail =
+            got > rel ? std::min(static_cast<std::size_t>(x.len),
+                                 static_cast<std::size_t>(got - rel))
+                      : 0;
+        std::copy_n(scratch.data() + rel, avail, data.data() + moved);
+        moved += avail;
+        if (avail < x.len) break;  // short hull read: the rest is past EOF
+      }
+    }
+    record_strategy_span(tracer_.get(), obs::SpanKind::kSieve, moved, t0);
+    return moved;
+  }
+
+  // Naive: one plain round trip per extent.
+  std::size_t moved = 0;
+  for (const Extent& x : extents) {
+    const std::size_t len = static_cast<std::size_t>(x.len);
+    if constexpr (IsWrite) {
+      const ByteSpan part = data.subspan(moved, len);
+      moved += once ? streams_->pwrite_once(stream, part, x.offset)
+                    : streams_->pwrite(stream, part, x.offset);
+    } else {
+      const MutByteSpan part = data.subspan(moved, len);
+      const std::size_t n = once ? streams_->pread_once(stream, part, x.offset)
+                                 : streams_->pread(stream, part, x.offset);
+      moved += n;
+      if (n < len) break;
+    }
+  }
+  return moved;
+}
+
+template <bool IsWrite, class Span>
+mpiio::IoRequest SemplarFile::submit_extents(const ExtentList& extents,
+                                             Span data) {
+  mpiio::IoRequest master = mpiio::IoRequest::make();
+  if (extents.empty()) {
+    mpiio::IoRequest::complete(master.state(), 0);
+    return master;
+  }
+  const Strategy strategy = pick_strategy(extents);
+  const int active = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(streams_->count()), extents.size()));
+
+  // Packed-buffer offset of each extent, so a per-stream subset addresses
+  // its slice of the caller's buffer directly.
+  std::vector<std::size_t> base(extents.size() + 1, 0);
+  for (std::size_t i = 0; i < extents.size(); ++i)
+    base[i + 1] = base[i] + static_cast<std::size_t>(extents[i].len);
+
+  auto join = std::make_shared<StripeJoin>();
+  join->master = master.state();
+  join->remaining.store(active);
+  if (tracer_ != nullptr) {
+    join->tracer = tracer_.get();
+    join->span.op_id = tracer_->next_op_id();
+    join->span.kind = IsWrite ? obs::SpanKind::kIwrite : obs::SpanKind::kIread;
+    join->span.enqueue = simnet::sim_now();
+  }
+
+  for (int k = 0; k < active; ++k) {
+    // Count-even partition: stream k owns extents [lo, hi). Each subset is
+    // itself sorted and disjoint, so every strategy applies per stream.
+    const std::size_t lo = extents.size() * static_cast<std::size_t>(k) /
+                           static_cast<std::size_t>(active);
+    const std::size_t hi = extents.size() *
+                           (static_cast<std::size_t>(k) + 1) /
+                           static_cast<std::size_t>(active);
+    ExtentList subset(extents.begin() + static_cast<std::ptrdiff_t>(lo),
+                      extents.begin() + static_cast<std::ptrdiff_t>(hi));
+    const Span part = data.subspan(base[lo], base[hi] - base[lo]);
+    engine_->submit_supervised(
+        [this, strategy, k, subset = std::move(subset), part] {
+          return transfer_extents<IsWrite>(strategy, k, subset, part,
+                                           /*once=*/true);
+        },
+        [this, join](std::size_t moved, std::exception_ptr err) {
+          if (err == nullptr) {
+            join->bytes.fetch_add(moved);
+            if constexpr (IsWrite) {
+              stats_.add_write(moved);
+            } else {
+              stats_.add_read(moved);
+            }
+          } else {
+            join->record_error(err);
+          }
+          join->finish_one();
+        });
+  }
+  return master;
+}
+
+std::size_t SemplarFile::readv(const ExtentList& extents, MutByteSpan out) {
+  // A single extent is exactly a plain read: delegate so spans and stats
+  // are indistinguishable from read_at.
+  if (extents.size() == 1) return read_at(extents[0].offset, out);
+  if (extents.empty()) return 0;
+  stats_.add_sync();
+  const double t0 = tracer_ != nullptr ? simnet::sim_now() : 0.0;
+  const std::size_t n =
+      cache_ != nullptr
+          ? cache_->readv(extents, out)
+          : transfer_extents<false>(pick_strategy(extents), 0, extents, out,
+                                    /*once=*/false);
+  if (tracer_ != nullptr) {
+    obs::Span s;
+    s.op_id = tracer_->next_op_id();
+    s.kind = obs::SpanKind::kSyncRead;
+    s.bytes = n;
+    s.enqueue = s.dequeue = s.wire_start = t0;
+    s.wire_end = simnet::sim_now();
+    tracer_->record(s);
+  }
+  stats_.add_read(n);
+  return n;
+}
+
+std::size_t SemplarFile::writev(const ExtentList& extents, ByteSpan data) {
+  if (extents.size() == 1) return write_at(extents[0].offset, data);
+  if (extents.empty()) return 0;
+  stats_.add_sync();
+  const double t0 = tracer_ != nullptr ? simnet::sim_now() : 0.0;
+  const std::size_t n =
+      cache_ != nullptr
+          ? cache_->writev(extents, data)
+          : transfer_extents<true>(pick_strategy(extents), 0, extents, data,
+                                   /*once=*/false);
+  if (tracer_ != nullptr) {
+    obs::Span s;
+    s.op_id = tracer_->next_op_id();
+    s.kind = obs::SpanKind::kSyncWrite;
+    s.bytes = n;
+    s.enqueue = s.dequeue = s.wire_start = t0;
+    s.wire_end = simnet::sim_now();
+    tracer_->record(s);
+  }
+  stats_.add_write(n);
+  return n;
+}
+
+mpiio::IoRequest SemplarFile::ireadv(const ExtentList& extents,
+                                     MutByteSpan out) {
+  if (extents.size() == 1) return iread_at(extents[0].offset, out);
+  if (cache_ != nullptr && !extents.empty()) {
+    // Mirror the cached iread_at: one engine task, cache-granular access.
+    const double issued = tracer_ != nullptr ? simnet::sim_now() : 0.0;
+    return engine_->submit([this, extents, out, issued] {
+      const double t0 = tracer_ != nullptr ? simnet::sim_now() : 0.0;
+      const std::size_t n = cache_->readv(extents, out);
+      if (tracer_ != nullptr) {
+        obs::Span s;
+        s.op_id = tracer_->next_op_id();
+        s.kind = obs::SpanKind::kIread;
+        s.bytes = n;
+        s.enqueue = issued;
+        s.dequeue = s.wire_start = t0;
+        s.wire_end = simnet::sim_now();
+        tracer_->record(s);
+      }
+      stats_.add_read(n);
+      return n;
+    });
+  }
+  return submit_extents<false>(extents, out);
+}
+
+mpiio::IoRequest SemplarFile::iwritev(const ExtentList& extents,
+                                      ByteSpan data) {
+  if (extents.size() == 1) return iwrite_at(extents[0].offset, data);
+  if (cache_ != nullptr && !extents.empty()) {
+    const double issued = tracer_ != nullptr ? simnet::sim_now() : 0.0;
+    return engine_->submit([this, extents, data, issued] {
+      const double t0 = tracer_ != nullptr ? simnet::sim_now() : 0.0;
+      const std::size_t n = cache_->writev(extents, data);
+      if (tracer_ != nullptr) {
+        obs::Span s;
+        s.op_id = tracer_->next_op_id();
+        s.kind = obs::SpanKind::kIwrite;
+        s.bytes = n;
+        s.enqueue = issued;
+        s.dequeue = s.wire_start = t0;
+        s.wire_end = simnet::sim_now();
+        tracer_->record(s);
+      }
+      stats_.add_write(n);
+      return n;
+    });
+  }
+  return submit_extents<true>(extents, data);
 }
 
 mpiio::IoRequest SemplarFile::iread_at(std::uint64_t offset, MutByteSpan out) {

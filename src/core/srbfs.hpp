@@ -39,6 +39,18 @@ class SemplarFile final : public mpiio::adio::FileHandle,
   std::uint64_t size() override;
   void flush() override;
 
+  // --- noncontiguous path (ROMIO §data sieving / list I/O) ----------------
+  // Strategy per list (Config::Sieve): naive per-extent round trips, data
+  // sieving (one hull transfer + local scatter/gather, read-modify-write
+  // for writes), or the list-I/O wire verb (many extents per message).
+  // Single-extent lists delegate to the plain verbs so accounting and
+  // tracing are identical either way; with the block cache enabled every
+  // strategy is bypassed in favour of cache-granular access.
+  std::size_t readv(const ExtentList& extents, MutByteSpan out) override;
+  std::size_t writev(const ExtentList& extents, ByteSpan data) override;
+  mpiio::IoRequest ireadv(const ExtentList& extents, MutByteSpan out) override;
+  mpiio::IoRequest iwritev(const ExtentList& extents, ByteSpan data) override;
+
   // --- asynchronous path (this paper) -------------------------------------
   bool supports_async() const override { return true; }
   mpiio::IoRequest iread_at(std::uint64_t offset, MutByteSpan out) override;
@@ -85,6 +97,26 @@ class SemplarFile final : public mpiio::adio::FileHandle,
   /// in parallel.
   template <bool IsWrite, class Span>
   mpiio::IoRequest submit_striped(std::uint64_t offset, Span data);
+
+  /// How a noncontiguous list goes on the wire (Config::Sieve).
+  enum class Strategy { kNaive, kSieve, kList };
+  Strategy pick_strategy(const ExtentList& extents) const;
+
+  /// Moves `extents` <-> the packed buffer on one stream using `strategy`.
+  /// `once` selects the single-attempt pool flavours (engine-replayed
+  /// tasks) over the blocking-supervised ones (sync callers). Returns the
+  /// bytes moved; reads stop at the first short extent.
+  template <bool IsWrite, class Span>
+  std::size_t transfer_extents(Strategy strategy, int stream,
+                               const ExtentList& extents, Span data,
+                               bool once);
+
+  /// Async flavour of the strategy transfer: partitions the list count-
+  /// evenly across the file's streams, one supervised engine task per
+  /// stream, joined into one master request (same StripeJoin bookkeeping
+  /// as submit_striped).
+  template <bool IsWrite, class Span>
+  mpiio::IoRequest submit_extents(const ExtentList& extents, Span data);
 
   Config cfg_;
   Stats stats_;

@@ -17,6 +17,12 @@ struct StatsSnapshot {
   std::uint64_t async_tasks = 0;
   std::uint64_t sync_calls = 0;
   std::uint64_t queue_peak = 0;
+  /// Protocol round-trips issued for data transfer (one per read/write
+  /// message; a chunked transfer counts one per chunk, a list-I/O batch
+  /// counts one per message regardless of how many extents it carries).
+  /// Deterministic for a given access pattern — the noncontiguous ablation
+  /// gates on it.
+  std::uint64_t wire_ops = 0;
   double io_busy_sim = 0.0;  // simulated seconds I/O threads spent on tasks
 
   // Work-stealing engine (all zero for a single lazy worker that never
@@ -47,6 +53,7 @@ class Stats {
   void add_read(std::uint64_t n) { bytes_read_ += n; }
   void add_task() { ++async_tasks_; }
   void add_sync() { ++sync_calls_; }
+  void add_wire_ops(std::uint64_t n) { wire_ops_ += n; }
   void note_queue_depth(std::uint64_t d) {
     std::uint64_t cur = queue_peak_.load(std::memory_order_relaxed);
     while (d > cur &&
@@ -79,6 +86,7 @@ class Stats {
     s.async_tasks = async_tasks_.load(std::memory_order_relaxed);
     s.sync_calls = sync_calls_.load(std::memory_order_relaxed);
     s.queue_peak = queue_peak_.load(std::memory_order_relaxed);
+    s.wire_ops = wire_ops_.load(std::memory_order_relaxed);
     s.io_busy_sim = io_busy_sim_.load(std::memory_order_relaxed);
     s.steals = steals_.load(std::memory_order_relaxed);
     s.parks = parks_.load(std::memory_order_relaxed);
@@ -105,6 +113,7 @@ class Stats {
   std::atomic<std::uint64_t> async_tasks_{0};
   std::atomic<std::uint64_t> sync_calls_{0};
   std::atomic<std::uint64_t> queue_peak_{0};
+  std::atomic<std::uint64_t> wire_ops_{0};
   std::atomic<double> io_busy_sim_{0.0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> parks_{0};

@@ -252,12 +252,24 @@ class WireTrace {
 
 }  // namespace
 
+namespace {
+
+/// Protocol messages a chunked plain verb issues for `len` bytes (the
+/// SrbClient pread/pwrite loops send one message per kMaxIoChunk).
+std::uint64_t chunk_messages(std::size_t len) {
+  if (len == 0) return 0;
+  return (len + srb::SrbClient::kMaxIoChunk - 1) / srb::SrbClient::kMaxIoChunk;
+}
+
+}  // namespace
+
 std::size_t StreamPool::pread_once(int stream, MutByteSpan out,
                                    std::uint64_t offset) {
   return once(stream, [&](srb::SrbClient& c, std::int32_t fd, int idx) {
     WireTrace wt(tracer_, idx);
     const std::size_t n = c.pread(fd, out, offset);
     wt.set_bytes(n);
+    if (stats_ != nullptr) stats_->add_wire_ops(chunk_messages(out.size()));
     return n;
   });
 }
@@ -268,6 +280,7 @@ std::size_t StreamPool::pwrite_once(int stream, ByteSpan data,
     WireTrace wt(tracer_, idx);
     const std::size_t n = c.pwrite(fd, data, offset);
     wt.set_bytes(n);
+    if (stats_ != nullptr) stats_->add_wire_ops(chunk_messages(data.size()));
     return n;
   });
 }
@@ -276,8 +289,120 @@ std::uint64_t StreamPool::stat_size_once() {
   return once(0, [&](srb::SrbClient& c, std::int32_t, int idx) {
     WireTrace wt(tracer_, idx);
     const auto st = c.stat(path_);
+    if (stats_ != nullptr) stats_->add_wire_ops(1);
     return st ? st->size : std::uint64_t{0};
   });
+}
+
+std::size_t StreamPool::preadv(int stream, const ExtentList& extents,
+                               MutByteSpan out) {
+  return supervised([&] { return preadv_once(stream, extents, out); });
+}
+
+std::size_t StreamPool::pwritev(int stream, const ExtentList& extents,
+                                ByteSpan data) {
+  return supervised([&] { return pwritev_once(stream, extents, data); });
+}
+
+std::size_t StreamPool::preadv_once(int stream, const ExtentList& extents,
+                                    MutByteSpan out) {
+  const std::size_t max_bytes = srb::SrbClient::kMaxIoChunk;
+  std::uint32_t max_ext = cfg_.sieve.max_extents_per_msg;
+  if (max_ext == 0 || max_ext > srb::kMaxListExtents)
+    max_ext = srb::kMaxListExtents;
+
+  std::size_t total = 0;
+  std::size_t packed = 0;  // position in the packed buffer
+  std::size_t i = 0;
+  while (i < extents.size()) {
+    if (extents[i].len > max_bytes) {
+      // Oversized extent: the plain chunked verb moves it just as well.
+      const std::size_t want = static_cast<std::size_t>(extents[i].len);
+      const std::size_t n =
+          once(stream, [&](srb::SrbClient& c, std::int32_t fd, int idx) {
+            WireTrace wt(tracer_, idx);
+            const std::size_t m =
+                c.pread(fd, out.subspan(packed, want), extents[i].offset);
+            wt.set_bytes(m);
+            if (stats_ != nullptr) stats_->add_wire_ops(chunk_messages(want));
+            return m;
+          });
+      total += n;
+      packed += want;
+      ++i;
+      if (n < want) break;  // past EOF; sorted list ⇒ the rest is too
+      continue;
+    }
+    std::size_t j = i;
+    std::size_t bytes = 0;
+    while (j < extents.size() && j - i < max_ext &&
+           extents[j].len <= max_bytes && bytes + extents[j].len <= max_bytes) {
+      bytes += static_cast<std::size_t>(extents[j].len);
+      ++j;
+    }
+    const ExtentList batch(extents.begin() + static_cast<std::ptrdiff_t>(i),
+                           extents.begin() + static_cast<std::ptrdiff_t>(j));
+    const std::size_t n =
+        once(stream, [&](srb::SrbClient& c, std::int32_t fd, int idx) {
+          WireTrace wt(tracer_, idx);
+          const std::size_t m = c.preadv(fd, batch, out.subspan(packed, bytes));
+          wt.set_bytes(m);
+          if (stats_ != nullptr) stats_->add_wire_ops(1);
+          return m;
+        });
+    total += n;
+    packed += bytes;
+    i = j;
+    if (n < bytes) break;
+  }
+  return total;
+}
+
+std::size_t StreamPool::pwritev_once(int stream, const ExtentList& extents,
+                                     ByteSpan data) {
+  const std::size_t max_bytes = srb::SrbClient::kMaxIoChunk;
+  std::uint32_t max_ext = cfg_.sieve.max_extents_per_msg;
+  if (max_ext == 0 || max_ext > srb::kMaxListExtents)
+    max_ext = srb::kMaxListExtents;
+
+  std::size_t total = 0;
+  std::size_t packed = 0;
+  std::size_t i = 0;
+  while (i < extents.size()) {
+    if (extents[i].len > max_bytes) {
+      const std::size_t want = static_cast<std::size_t>(extents[i].len);
+      total += once(stream, [&](srb::SrbClient& c, std::int32_t fd, int idx) {
+        WireTrace wt(tracer_, idx);
+        const std::size_t m =
+            c.pwrite(fd, data.subspan(packed, want), extents[i].offset);
+        wt.set_bytes(m);
+        if (stats_ != nullptr) stats_->add_wire_ops(chunk_messages(want));
+        return m;
+      });
+      packed += want;
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    std::size_t bytes = 0;
+    while (j < extents.size() && j - i < max_ext &&
+           extents[j].len <= max_bytes && bytes + extents[j].len <= max_bytes) {
+      bytes += static_cast<std::size_t>(extents[j].len);
+      ++j;
+    }
+    const ExtentList batch(extents.begin() + static_cast<std::ptrdiff_t>(i),
+                           extents.begin() + static_cast<std::ptrdiff_t>(j));
+    total += once(stream, [&](srb::SrbClient& c, std::int32_t fd, int idx) {
+      WireTrace wt(tracer_, idx);
+      const std::size_t m = c.pwritev(fd, batch, data.subspan(packed, bytes));
+      wt.set_bytes(m);
+      if (stats_ != nullptr) stats_->add_wire_ops(1);
+      return m;
+    });
+    packed += bytes;
+    i = j;
+  }
+  return total;
 }
 
 srb::SrbClient& StreamPool::client(int stream) {

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/extent.hpp"
 #include "core/config.hpp"
 #include "core/stats.hpp"
 #include "core/supervisor.hpp"
@@ -65,6 +66,17 @@ class StreamPool {
   std::size_t pread_once(int stream, MutByteSpan out, std::uint64_t offset);
   std::size_t pwrite_once(int stream, ByteSpan data, std::uint64_t offset);
   std::uint64_t stat_size_once();
+
+  // List I/O: a sorted, disjoint extent list against a packed buffer. The
+  // pool batches the list into kObjReadList/kObjWriteList messages bounded
+  // by Config::Sieve::max_extents_per_msg and SrbClient::kMaxIoChunk data
+  // bytes each (an extent larger than the chunk cap goes through the plain
+  // chunked verb instead — list framing buys it nothing). Offset-addressed
+  // and therefore idempotent, like every supervised op here.
+  std::size_t preadv(int stream, const ExtentList& extents, MutByteSpan out);
+  std::size_t pwritev(int stream, const ExtentList& extents, ByteSpan data);
+  std::size_t preadv_once(int stream, const ExtentList& extents, MutByteSpan out);
+  std::size_t pwritev_once(int stream, const ExtentList& extents, ByteSpan data);
 
   /// Current client of a stream, for catalog-style side channels
   /// (generation attributes). Not supervised; callers run in quiescent

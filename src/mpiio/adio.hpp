@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/extent.hpp"
 #include "mpiio/request.hpp"
 
 namespace remio::obs {
@@ -55,6 +56,31 @@ class FileHandle {
   virtual std::uint64_t size() = 0;
   virtual void flush() {}
 
+  /// Vectored verbs: transfer a sorted, disjoint list of file extents
+  /// to/from a packed buffer (extent contents concatenated in list order;
+  /// buffer size == total_bytes(extents) — the portable layer validates).
+  /// The default lowers to one plain call per extent; drivers that can do
+  /// better (SEMPLAR: data sieving, list I/O) override. A read stops at the
+  /// first short extent — for a sorted list every later extent lies beyond
+  /// EOF, so this equals per-extent independent reads.
+  virtual std::size_t readv(const ExtentList& extents, MutByteSpan out) {
+    std::size_t done = 0;
+    for (const Extent& x : extents) {
+      const std::size_t n =
+          read_at(x.offset, out.subspan(done, static_cast<std::size_t>(x.len)));
+      done += n;
+      if (n < x.len) break;
+    }
+    return done;
+  }
+  virtual std::size_t writev(const ExtentList& extents, ByteSpan data) {
+    std::size_t done = 0;
+    for (const Extent& x : extents)
+      done += write_at(x.offset,
+                       data.subspan(done, static_cast<std::size_t>(x.len)));
+    return done;
+  }
+
   /// Drivers that can do better than the portable thread fallback override
   /// these (SEMPLAR does: multi-stream striping + its own I/O threads).
   virtual bool supports_async() const { return false; }
@@ -63,6 +89,12 @@ class FileHandle {
   }
   virtual IoRequest iwrite_at(std::uint64_t, ByteSpan) {
     throw IoError("driver has no native async write");
+  }
+  virtual IoRequest ireadv(const ExtentList&, MutByteSpan) {
+    throw IoError("driver has no native async vectored read");
+  }
+  virtual IoRequest iwritev(const ExtentList&, ByteSpan) {
+    throw IoError("driver has no native async vectored write");
   }
 
   /// The driver's span tracer, when it has one (SEMPLAR with Config::Obs

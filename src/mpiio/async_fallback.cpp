@@ -14,9 +14,14 @@ void AsyncFallback::ensure_thread() {
 void AsyncFallback::loop() {
   while (auto task = queue_.pop()) {
     try {
-      const std::size_t n = task->is_write
-                                ? handle_.write_at(task->offset, task->wdata)
-                                : handle_.read_at(task->offset, task->rdata);
+      std::size_t n;
+      if (task->vectored) {
+        n = task->is_write ? handle_.writev(task->extents, task->wdata)
+                           : handle_.readv(task->extents, task->rdata);
+      } else {
+        n = task->is_write ? handle_.write_at(task->offset, task->wdata)
+                           : handle_.read_at(task->offset, task->rdata);
+      }
       IoRequest::complete(task->state, n);
     } catch (...) {
       IoRequest::fail(task->state, std::current_exception());
@@ -43,6 +48,34 @@ IoRequest AsyncFallback::iwrite_at(std::uint64_t offset, ByteSpan data) {
   Task t;
   t.is_write = true;
   t.offset = offset;
+  t.wdata = data;
+  t.state = req.state();
+  if (!queue_.push(std::move(t)))
+    IoRequest::fail(req.state(), std::make_exception_ptr(IoError("file closed")));
+  return req;
+}
+
+IoRequest AsyncFallback::ireadv(ExtentList extents, MutByteSpan out) {
+  ensure_thread();
+  IoRequest req = IoRequest::make();
+  Task t;
+  t.is_write = false;
+  t.vectored = true;
+  t.extents = std::move(extents);
+  t.rdata = out;
+  t.state = req.state();
+  if (!queue_.push(std::move(t)))
+    IoRequest::fail(req.state(), std::make_exception_ptr(IoError("file closed")));
+  return req;
+}
+
+IoRequest AsyncFallback::iwritev(ExtentList extents, ByteSpan data) {
+  ensure_thread();
+  IoRequest req = IoRequest::make();
+  Task t;
+  t.is_write = true;
+  t.vectored = true;
+  t.extents = std::move(extents);
   t.wdata = data;
   t.state = req.state();
   if (!queue_.push(std::move(t)))

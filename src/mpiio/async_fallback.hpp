@@ -24,6 +24,10 @@ class AsyncFallback {
 
   IoRequest iread_at(std::uint64_t offset, MutByteSpan out);
   IoRequest iwrite_at(std::uint64_t offset, ByteSpan data);
+  /// Vectored flavours: the whole extent list is one queued task, so it
+  /// completes atomically with respect to other queued operations.
+  IoRequest ireadv(ExtentList extents, MutByteSpan out);
+  IoRequest iwritev(ExtentList extents, ByteSpan data);
 
   /// Blocks until every queued operation has drained (used by flush/close).
   void drain();
@@ -31,7 +35,9 @@ class AsyncFallback {
  private:
   struct Task {
     bool is_write = false;
+    bool vectored = false;
     std::uint64_t offset = 0;
+    ExtentList extents;
     ByteSpan wdata;
     MutByteSpan rdata;
     std::shared_ptr<IoRequest::State> state;

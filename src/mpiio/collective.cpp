@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "common/extent.hpp"
+
 namespace remio::mpiio {
 
 namespace {
@@ -45,13 +47,15 @@ IoRequest collective_write(mpi::Comm& comm, File* file, std::uint64_t base_offse
   if (file == nullptr)
     throw IoError("collective_write: aggregator rank needs an open file");
 
+  // Rank r's block lands at layout[r]; this group's region is the hull of
+  // its (contiguous, rank-ordered) slice.
+  const ExtentList layout = concat_layout(base_offset, sizes);
   const int group_end = std::min(size, rank + g);
-  std::uint64_t group_bytes = 0;
-  for (int r = rank; r < group_end; ++r)
-    group_bytes += sizes[static_cast<std::size_t>(r)];
+  const Extent region_ext =
+      hull(ExtentList(layout.begin() + rank, layout.begin() + group_end));
 
   auto buffer = std::make_shared<Bytes>();
-  buffer->reserve(static_cast<std::size_t>(group_bytes));
+  buffer->reserve(static_cast<std::size_t>(region_ext.len));
   buffer->insert(buffer->end(), my_block.begin(), my_block.end());
   for (int r = rank + 1; r < group_end; ++r) {
     const mpi::Message m = comm.recv(r, kShuffleTag);
@@ -61,10 +65,8 @@ IoRequest collective_write(mpi::Comm& comm, File* file, std::uint64_t base_offse
     buffer->insert(buffer->end(), m.data.begin(), m.data.end());
   }
 
-  std::uint64_t offset = base_offset;
-  for (int r = 0; r < rank; ++r) offset += sizes[static_cast<std::size_t>(r)];
-
   // Phase 2: one large contiguous write for the whole group.
+  const std::uint64_t offset = region_ext.offset;
   if (opts.async) {
     IoRequest req = file->iwrite_at(offset, ByteSpan(buffer->data(), buffer->size()));
     // The async contract does not copy: pin the gathered buffer to the
@@ -99,18 +101,17 @@ std::size_t collective_read(mpi::Comm& comm, File* file, std::uint64_t base_offs
   if (file == nullptr)
     throw IoError("collective_read: aggregator rank needs an open file");
 
+  // Same rank-ordered layout as the write side: this group's region is the
+  // hull of its slice of the concatenation.
+  const ExtentList layout = concat_layout(base_offset, sizes);
   const int group_end = std::min(size, rank + g);
-  std::uint64_t group_bytes = 0;
-  for (int r = rank; r < group_end; ++r)
-    group_bytes += sizes[static_cast<std::size_t>(r)];
-
-  std::uint64_t offset = base_offset;
-  for (int r = 0; r < rank; ++r) offset += sizes[static_cast<std::size_t>(r)];
+  const Extent region_ext =
+      hull(ExtentList(layout.begin() + rank, layout.begin() + group_end));
 
   // Phase 1: one large contiguous read for the whole group.
-  Bytes region(static_cast<std::size_t>(group_bytes));
+  Bytes region(static_cast<std::size_t>(region_ext.len));
   const std::size_t got =
-      file->read_at(offset, MutByteSpan(region.data(), region.size()));
+      file->read_at(region_ext.offset, MutByteSpan(region.data(), region.size()));
 
   // Phase 2: scatter the pieces (possibly short at EOF) back to the group.
   std::size_t cursor = 0;

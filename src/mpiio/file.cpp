@@ -19,12 +19,63 @@ File::~File() {
   }
 }
 
+ExtentList File::map_range(std::uint64_t offset, std::uint64_t len) const {
+  std::lock_guard lk(fp_mu_);
+  return view_.map(offset, len);
+}
+
+void File::check_packed(const ExtentList& extents,
+                        std::size_t buf_bytes) const {
+  if (!is_sorted_disjoint(extents))
+    throw IoError("vectored I/O: extents must be sorted and non-overlapping");
+  if (total_bytes(extents) != buf_bytes)
+    throw IoError("vectored I/O: packed buffer size != total extent bytes");
+}
+
+// --- vectored core ---------------------------------------------------------
+
+std::size_t File::readv(const ExtentList& extents, MutByteSpan out) {
+  check_packed(extents, out.size());
+  if (extents.empty()) return 0;
+  return handle_->readv(extents, out);
+}
+
+std::size_t File::writev(const ExtentList& extents, ByteSpan data) {
+  check_packed(extents, data.size());
+  if (extents.empty()) return 0;
+  return handle_->writev(extents, data);
+}
+
+IoRequest File::ireadv(const ExtentList& extents, MutByteSpan out) {
+  check_packed(extents, out.size());
+  if (extents.empty()) {
+    IoRequest req = IoRequest::make();
+    IoRequest::complete(req.state(), 0);
+    return req;
+  }
+  if (handle_->supports_async()) return handle_->ireadv(extents, out);
+  return fallback_->ireadv(extents, out);
+}
+
+IoRequest File::iwritev(const ExtentList& extents, ByteSpan data) {
+  check_packed(extents, data.size());
+  if (extents.empty()) {
+    IoRequest req = IoRequest::make();
+    IoRequest::complete(req.state(), 0);
+    return req;
+  }
+  if (handle_->supports_async()) return handle_->iwritev(extents, data);
+  return fallback_->iwritev(extents, data);
+}
+
+// --- offset wrappers -------------------------------------------------------
+
 std::size_t File::read_at(std::uint64_t offset, MutByteSpan out) {
-  return handle_->read_at(offset, out);
+  return readv(map_range(offset, out.size()), out);
 }
 
 std::size_t File::write_at(std::uint64_t offset, ByteSpan data) {
-  return handle_->write_at(offset, data);
+  return writev(map_range(offset, data.size()), data);
 }
 
 std::size_t File::read(MutByteSpan out) {
@@ -34,7 +85,7 @@ std::size_t File::read(MutByteSpan out) {
     at = fp_;
     fp_ += out.size();  // optimistic; corrected below on short read
   }
-  const std::size_t n = handle_->read_at(at, out);
+  const std::size_t n = read_at(at, out);
   if (n < out.size()) {
     std::lock_guard lk(fp_mu_);
     fp_ = at + n;
@@ -49,7 +100,7 @@ std::size_t File::write(ByteSpan data) {
     at = fp_;
     fp_ += data.size();
   }
-  return handle_->write_at(at, data);
+  return write_at(at, data);
 }
 
 std::uint64_t File::seek(std::int64_t offset, int whence) {
@@ -58,7 +109,17 @@ std::uint64_t File::seek(std::int64_t offset, int whence) {
   switch (whence) {
     case SEEK_SET: base = 0; break;
     case SEEK_CUR: base = static_cast<std::int64_t>(fp_); break;
-    case SEEK_END: base = static_cast<std::int64_t>(handle_->size()); break;
+    case SEEK_END: {
+      // With a strided view the "end" in view coordinates has no cheap
+      // definition (it depends on which frames the file size cuts through);
+      // the paper's workloads never need it.
+      if (!view_.contiguous())
+        throw IoError("seek: SEEK_END unsupported with a strided view");
+      const std::uint64_t sz = handle_->size();
+      base = static_cast<std::int64_t>(
+          sz > view_.displacement ? sz - view_.displacement : 0);
+      break;
+    }
     default: throw IoError("seek: bad whence");
   }
   const std::int64_t pos = base + offset;
@@ -67,14 +128,14 @@ std::uint64_t File::seek(std::int64_t offset, int whence) {
   return fp_;
 }
 
+// --- async wrappers --------------------------------------------------------
+
 IoRequest File::iread_at(std::uint64_t offset, MutByteSpan out) {
-  if (handle_->supports_async()) return handle_->iread_at(offset, out);
-  return fallback_->iread_at(offset, out);
+  return ireadv(map_range(offset, out.size()), out);
 }
 
 IoRequest File::iwrite_at(std::uint64_t offset, ByteSpan data) {
-  if (handle_->supports_async()) return handle_->iwrite_at(offset, data);
-  return fallback_->iwrite_at(offset, data);
+  return iwritev(map_range(offset, data.size()), data);
 }
 
 IoRequest File::iread(MutByteSpan out) {
@@ -95,6 +156,20 @@ IoRequest File::iwrite(ByteSpan data) {
     fp_ += data.size();
   }
   return iwrite_at(at, data);
+}
+
+// --- views -----------------------------------------------------------------
+
+void File::set_view(const FileView& view) {
+  view.validate();
+  std::lock_guard lk(fp_mu_);
+  view_ = view;
+  fp_ = 0;  // MPI_File_set_view resets the individual file pointer
+}
+
+FileView File::view() const {
+  std::lock_guard lk(fp_mu_);
+  return view_;
 }
 
 std::uint64_t File::size() { return handle_->size(); }

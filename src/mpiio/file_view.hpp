@@ -1,0 +1,74 @@
+// Datatype-lite strided file view, in the spirit of MPI_File_set_view with a
+// vector datatype (Thakur et al., "Optimizing Noncontiguous Accesses in
+// MPI-IO"). The view exposes a repeating pattern of visible bytes:
+//
+//   frame f (f = 0, 1, ...) exposes block_bytes() = etype_bytes * count
+//   visible bytes starting at file offset displacement + f * stride.
+//
+// View-relative offsets address only the visible bytes; `map()` lowers a
+// (view_offset, len) range to the sorted, disjoint list of file extents it
+// touches — the ExtentList the vectored verbs and optimized transfer paths
+// (data sieving, list I/O) consume.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/extent.hpp"
+#include "mpiio/request.hpp"
+
+namespace remio::mpiio {
+
+struct FileView {
+  std::uint64_t displacement = 0;  // file bytes skipped before frame 0
+  std::uint32_t etype_bytes = 1;   // elementary type size
+  std::uint32_t count = 0;         // etypes visible per frame (0 = contiguous)
+  std::uint64_t stride = 0;        // bytes between frame starts (0 = contiguous)
+
+  std::uint64_t block_bytes() const {
+    return static_cast<std::uint64_t>(etype_bytes) * count;
+  }
+
+  /// A contiguous view maps view offsets to file offsets by adding the
+  /// displacement — no gaps between frames.
+  bool contiguous() const {
+    return count == 0 || stride == 0 || stride == block_bytes();
+  }
+
+  /// Throws IoError on a degenerate pattern (zero etype, or a stride shorter
+  /// than the block it must contain, which would make frames overlap).
+  void validate() const {
+    if (etype_bytes == 0) throw IoError("FileView: etype_bytes must be > 0");
+    if (count != 0 && stride != 0 && stride < block_bytes())
+      throw IoError("FileView: stride must be >= etype_bytes * count");
+  }
+
+  /// File extents touched by visible bytes [view_offset, view_offset + len).
+  /// Result is sorted, disjoint, and merged (abutting runs collapse).
+  ExtentList map(std::uint64_t view_offset, std::uint64_t len) const {
+    ExtentList out;
+    if (len == 0) return out;
+    if (contiguous()) {
+      out.push_back({displacement + view_offset, len});
+      return out;
+    }
+    const std::uint64_t bb = block_bytes();
+    std::uint64_t v = view_offset;
+    std::uint64_t remaining = len;
+    while (remaining > 0) {
+      const std::uint64_t frame = v / bb;
+      const std::uint64_t in_block = v % bb;
+      const std::uint64_t take = std::min(remaining, bb - in_block);
+      const std::uint64_t off = displacement + frame * stride + in_block;
+      if (!out.empty() && out.back().end() == off)
+        out.back().len += take;
+      else
+        out.push_back({off, take});
+      v += take;
+      remaining -= take;
+    }
+    return out;
+  }
+};
+
+}  // namespace remio::mpiio

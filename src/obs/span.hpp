@@ -30,6 +30,8 @@ enum class SpanKind : std::uint8_t {
   kFlush,       // write-behind coalesced flush hitting the wire
   kCompute,     // app computation phase (testbed PhaseTimer)
   kIoWait,      // app blocked in its I/O phase (testbed PhaseTimer)
+  kSieve,       // data-sieving transfer: hull fetch + scatter/gather
+  kListIo,      // list-I/O transfer: batched extents in one message
   kCount
 };
 
@@ -74,6 +76,8 @@ inline const char* kind_name(SpanKind k) {
     case SpanKind::kFlush: return "wb-flush";
     case SpanKind::kCompute: return "compute";
     case SpanKind::kIoWait: return "io-wait";
+    case SpanKind::kSieve: return "sieve";
+    case SpanKind::kListIo: return "list-io";
     case SpanKind::kCount: break;
   }
   return "?";

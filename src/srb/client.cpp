@@ -48,6 +48,7 @@ Status SrbClient::rpc(Op op, const Bytes& payload, Bytes& response) {
                     static_cast<std::int32_t>(Status::kIoError),
                     /*retryable=*/false, "rpc"},
                    "client disconnected");
+  rpc_count_.fetch_add(1, std::memory_order_relaxed);
   send_frame(*sock_, static_cast<std::uint8_t>(op),
              ByteSpan(payload.data(), payload.size()));
   Bytes frame;
@@ -129,6 +130,70 @@ std::size_t SrbClient::pwrite(std::int32_t fd, ByteSpan data, std::uint64_t offs
     total += n;
   }
   return total;
+}
+
+std::size_t SrbClient::preadv(std::int32_t fd, const ExtentList& extents,
+                              MutByteSpan out) {
+  if (extents.empty()) return 0;
+  Bytes payload;
+  ByteWriter w(payload);
+  w.i32(fd);
+  w.u32(static_cast<std::uint32_t>(extents.size()));
+  for (const Extent& x : extents) {
+    w.u64(x.offset);
+    w.u32(static_cast<std::uint32_t>(x.len));
+  }
+  const Bytes resp = rpc_ok(Op::kObjReadList, payload, "readv");
+  ByteReader r(ByteSpan(resp.data(), resp.size()));
+  const std::uint32_t count = r.u32();
+  if (count != extents.size())
+    throw SrbError(Status::kProtocol,
+                   {remio::ErrorDomain::kProtocol,
+                    static_cast<std::int32_t>(Status::kProtocol),
+                    /*retryable=*/false, "readv"},
+                   "readv: extent count mismatch in response");
+  std::vector<std::uint32_t> actual(count);
+  for (std::uint32_t i = 0; i < count; ++i) actual[i] = r.u32();
+  // Scatter each extent's actual bytes to its packed position; stop at the
+  // first short extent (sorted list: everything later is past EOF too).
+  std::size_t total = 0;
+  std::size_t packed = 0;
+  const ByteSpan data = r.rest();
+  std::size_t consumed = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!r.ok() || actual[i] > extents[i].len ||
+        consumed + actual[i] > data.size())
+      throw SrbError(Status::kProtocol,
+                     {remio::ErrorDomain::kProtocol,
+                      static_cast<std::int32_t>(Status::kProtocol),
+                      /*retryable=*/false, "readv"},
+                     "readv: malformed response body");
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(consumed),
+              data.begin() + static_cast<std::ptrdiff_t>(consumed + actual[i]),
+              out.begin() + static_cast<std::ptrdiff_t>(packed));
+    consumed += actual[i];
+    total += actual[i];
+    packed += extents[i].len;
+    if (actual[i] < extents[i].len) break;
+  }
+  return total;
+}
+
+std::size_t SrbClient::pwritev(std::int32_t fd, const ExtentList& extents,
+                               ByteSpan data) {
+  if (extents.empty()) return 0;
+  Bytes payload;
+  ByteWriter w(payload);
+  w.i32(fd);
+  w.u32(static_cast<std::uint32_t>(extents.size()));
+  for (const Extent& x : extents) {
+    w.u64(x.offset);
+    w.u32(static_cast<std::uint32_t>(x.len));
+  }
+  w.raw(data);
+  const Bytes resp = rpc_ok(Op::kObjWriteList, payload, "writev");
+  ByteReader r(ByteSpan(resp.data(), resp.size()));
+  return static_cast<std::size_t>(r.u64());
 }
 
 std::size_t SrbClient::read(std::int32_t fd, MutByteSpan out) {

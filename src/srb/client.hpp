@@ -7,6 +7,7 @@
 // stream, so each I/O thread drives its own connection.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/extent.hpp"
 #include "simnet/fabric.hpp"
 #include "srb/protocol.hpp"
 
@@ -70,6 +72,14 @@ class SrbClient {
   std::size_t pread(std::int32_t fd, MutByteSpan out, std::uint64_t offset);
   std::size_t pwrite(std::int32_t fd, ByteSpan data, std::uint64_t offset);
 
+  /// List I/O: the whole extent list travels in ONE protocol message (one
+  /// round-trip), so the caller must pre-batch against kMaxListExtents and
+  /// kMaxMessage/2 total bytes. Extents must be sorted and non-overlapping;
+  /// `out`/`data` are packed buffers (extent contents in list order). A read
+  /// returns total bytes and stops at the first short extent.
+  std::size_t preadv(std::int32_t fd, const ExtentList& extents, MutByteSpan out);
+  std::size_t pwritev(std::int32_t fd, const ExtentList& extents, ByteSpan data);
+
   /// read/write at the (server-side) individual file pointer.
   std::size_t read(std::int32_t fd, MutByteSpan out);
   std::size_t write(std::int32_t fd, ByteSpan data);
@@ -90,6 +100,12 @@ class SrbClient {
   const std::string& server_banner() const { return banner_; }
   std::uint64_t bytes_sent() const { return sock_->bytes_sent(); }
   std::uint64_t bytes_received() const { return sock_->bytes_received(); }
+  /// Protocol round-trips issued so far (each rpc() is one request/response
+  /// pair on the wire); lets tests verify e.g. that one list-I/O message
+  /// really carried N extents.
+  std::uint64_t rpc_count() const {
+    return rpc_count_.load(std::memory_order_relaxed);
+  }
 
   /// Writes larger than this are split into multiple protocol messages.
   static constexpr std::size_t kMaxIoChunk = 8u << 20;
@@ -103,6 +119,7 @@ class SrbClient {
   std::unique_ptr<simnet::Socket> sock_;
   std::mutex mu_;  // serializes request/response pairs on the stream
   std::string banner_;
+  std::atomic<std::uint64_t> rpc_count_{0};
   bool connected_ = false;
 };
 

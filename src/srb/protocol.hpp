@@ -30,6 +30,17 @@ enum class Op : std::uint8_t {
   kCollList = 11,
   kSetAttr = 12,
   kGetAttr = 13,
+  // List I/O (noncontiguous access, Thakur et al.): one round-trip carries
+  // many (offset, len) extents.
+  //   kObjReadList request  := fd:i32 count:u32 count*(offset:u64 len:u32)
+  //   kObjReadList response := count:u32 count*actual_len:u32 data...
+  //   kObjWriteList request := fd:i32 count:u32 count*(offset:u64 len:u32)
+  //                            data...   (concatenated, sum(len) bytes)
+  //   kObjWriteList response:= total:u64
+  // Extents must be sorted by offset, non-overlapping, and nonzero-length;
+  // the server answers kInvalid (keeping the session) otherwise.
+  kObjReadList = 14,
+  kObjWriteList = 15,
 };
 
 enum class Status : std::int32_t {
@@ -58,6 +69,11 @@ enum class Whence : std::uint8_t { kSet = 0, kCur = 1, kEnd = 2 };
 
 /// Hard cap on a single message; protects the server from hostile lengths.
 constexpr std::uint32_t kMaxMessage = 128u << 20;
+
+/// Hard cap on the extent count in one list-I/O message (the per-extent
+/// header alone is 12 bytes; this bounds server-side allocation before any
+/// data is read).
+constexpr std::uint32_t kMaxListExtents = 4096;
 
 /// Sends one framed message: [len][head][body...].
 void send_frame(simnet::Socket& sock, std::uint8_t head, ByteSpan body);

@@ -1,7 +1,9 @@
 #include "srb/server.hpp"
 
 #include <map>
+#include <vector>
 
+#include "common/extent.hpp"
 #include "common/log.hpp"
 
 namespace remio::srb {
@@ -75,6 +77,8 @@ class SrbServer::Session {
       case Op::kObjClose: return handle_close(r);
       case Op::kObjRead: return handle_read(r);
       case Op::kObjWrite: return handle_write(r);
+      case Op::kObjReadList: return handle_read_list(r);
+      case Op::kObjWriteList: return handle_write_list(r);
       case Op::kObjSeek: return handle_seek(r);
       case Op::kObjStat: return handle_stat(r);
       case Op::kObjUnlink: return handle_unlink(r);
@@ -181,6 +185,127 @@ class SrbServer::Session {
     Bytes body;
     ByteWriter w(body);
     w.u32(static_cast<std::uint32_t>(data.size()));
+    reply(Status::kOk, body);
+    return true;
+  }
+
+  /// Parses and validates the extent header shared by both list verbs.
+  /// Returns false on a semantic violation (after replying kInvalid, which
+  /// keeps the session alive — the frame was fully received, so framing is
+  /// intact). Structurally truncated frames are the caller's proto_error.
+  bool parse_extent_list(ByteReader& r, std::uint32_t count,
+                         std::vector<Extent>& out, std::uint64_t& sum) {
+    out.clear();
+    out.reserve(count);
+    sum = 0;
+    std::uint64_t watermark = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t offset = r.u64();
+      const std::uint32_t len = r.u32();
+      out.push_back({offset, len});
+      sum += len;
+    }
+    if (!r.ok()) return true;  // caller checks r.ok() and proto_errors
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].len == 0 || (i > 0 && out[i].offset < watermark)) {
+        reply(Status::kInvalid);
+        return false;
+      }
+      watermark = out[i].end();
+    }
+    return true;
+  }
+
+  bool handle_read_list(ByteReader& r) {
+    const std::int32_t fd = r.i32();
+    const std::uint32_t count = r.u32();
+    if (!r.ok()) return proto_error();
+    if (count == 0 || count > kMaxListExtents) {
+      reply(Status::kInvalid);
+      return true;
+    }
+    std::vector<Extent> extents;
+    std::uint64_t sum = 0;
+    if (!parse_extent_list(r, count, extents, sum)) return true;
+    if (!r.ok()) return proto_error();
+    if (sum > kMaxMessage / 2) {
+      reply(Status::kInvalid);
+      return true;
+    }
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      reply(Status::kBadFd);
+      return true;
+    }
+    FdState& st = it->second;
+    if ((st.flags & kRead) == 0) {
+      reply(Status::kInvalid);
+      return true;
+    }
+    // Response: per-extent actual lengths, then the read bytes concatenated
+    // (short extents contribute only their actual bytes).
+    Bytes lens;
+    ByteWriter lw(lens);
+    Bytes data(static_cast<std::size_t>(sum));
+    std::size_t filled = 0;
+    for (const Extent& x : extents) {
+      const std::size_t n = server_.store_.pread(
+          st.object,
+          MutByteSpan(data.data() + filled, static_cast<std::size_t>(x.len)),
+          x.offset);
+      lw.u32(static_cast<std::uint32_t>(n));
+      filled += n;
+    }
+    data.resize(filled);
+    Bytes body;
+    ByteWriter w(body);
+    w.u32(count);
+    w.raw(ByteSpan(lens.data(), lens.size()));
+    w.raw(ByteSpan(data.data(), data.size()));
+    reply(Status::kOk, body);
+    return true;
+  }
+
+  bool handle_write_list(ByteReader& r) {
+    const std::int32_t fd = r.i32();
+    const std::uint32_t count = r.u32();
+    if (!r.ok()) return proto_error();
+    if (count == 0 || count > kMaxListExtents) {
+      reply(Status::kInvalid);
+      return true;
+    }
+    std::vector<Extent> extents;
+    std::uint64_t sum = 0;
+    if (!parse_extent_list(r, count, extents, sum)) return true;
+    if (!r.ok()) return proto_error();
+    // Zero-copy: the concatenated payload is scattered straight from the
+    // request frame. A length mismatch is a fully-received-but-inconsistent
+    // frame: reject without killing the session.
+    const ByteSpan data = r.rest();
+    if (data.size() != sum) {
+      reply(Status::kInvalid);
+      return true;
+    }
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      reply(Status::kBadFd);
+      return true;
+    }
+    FdState& st = it->second;
+    if ((st.flags & kWrite) == 0) {
+      reply(Status::kInvalid);
+      return true;
+    }
+    std::size_t consumed = 0;
+    for (const Extent& x : extents) {
+      server_.store_.pwrite(
+          st.object, data.subspan(consumed, static_cast<std::size_t>(x.len)),
+          x.offset);
+      consumed += x.len;
+    }
+    Bytes body;
+    ByteWriter w(body);
+    w.u64(sum);
     reply(Status::kOk, body);
     return true;
   }

@@ -78,8 +78,8 @@ TEST(Writeback, MergesAdjacentWritesWithinABlock) {
   EXPECT_EQ(counters.writeback_coalesced.load(), 1u);
   const auto runs = wb.plan(4096);
   ASSERT_EQ(runs.size(), 1u);
-  EXPECT_EQ(runs[0].file_offset, 0u);
-  EXPECT_EQ(runs[0].bytes, 200u);
+  EXPECT_EQ(runs[0].extent.offset, 0u);
+  EXPECT_EQ(runs[0].extent.len, 200u);
 }
 
 TEST(Writeback, ChainsBlockBoundaryRunsIntoOneWrite) {
@@ -90,10 +90,10 @@ TEST(Writeback, ChainsBlockBoundaryRunsIntoOneWrite) {
   wb.mark_dirty(7, 10, 20, 4096);  // far away: its own run
   const auto runs = wb.plan(4096);
   ASSERT_EQ(runs.size(), 2u);
-  EXPECT_EQ(runs[0].file_offset, 1000u);
-  EXPECT_EQ(runs[0].bytes, 4096u - 1000u + 4096u + 50u);
+  EXPECT_EQ(runs[0].extent.offset, 1000u);
+  EXPECT_EQ(runs[0].extent.len, 4096u - 1000u + 4096u + 50u);
   EXPECT_EQ(runs[0].parts.size(), 3u);
-  EXPECT_EQ(runs[1].file_offset, 7u * 4096 + 10);
+  EXPECT_EQ(runs[1].extent.offset, 7u * 4096 + 10);
 }
 
 TEST(Writeback, HighWaterMarkSignalsAndClearResets) {

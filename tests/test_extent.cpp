@@ -1,0 +1,149 @@
+// Unit tests for the shared extent vocabulary (src/common/extent) and the
+// datatype-lite strided FileView that lowers view-relative ranges onto it.
+#include <gtest/gtest.h>
+
+#include "common/extent.hpp"
+#include "mpiio/file_view.hpp"
+
+namespace remio {
+namespace {
+
+TEST(Extent, BasicsAndTotalBytes) {
+  const Extent x{10, 5};
+  EXPECT_EQ(x.end(), 15u);
+  EXPECT_FALSE(x.empty());
+  EXPECT_TRUE((Extent{7, 0}).empty());
+  EXPECT_EQ(total_bytes({}), 0u);
+  EXPECT_EQ(total_bytes({{0, 3}, {10, 4}}), 7u);
+}
+
+TEST(Extent, SortedDisjointAcceptsAbutting) {
+  EXPECT_TRUE(is_sorted_disjoint({}));
+  EXPECT_TRUE(is_sorted_disjoint({{0, 4}}));
+  EXPECT_TRUE(is_sorted_disjoint({{0, 4}, {4, 4}}));   // abutting is valid
+  EXPECT_TRUE(is_sorted_disjoint({{0, 4}, {10, 1}}));
+}
+
+TEST(Extent, SortedDisjointRejectsBadLists) {
+  EXPECT_FALSE(is_sorted_disjoint({{0, 0}}));          // empty extent
+  EXPECT_FALSE(is_sorted_disjoint({{10, 4}, {0, 4}})); // unsorted
+  EXPECT_FALSE(is_sorted_disjoint({{0, 8}, {4, 8}}));  // overlapping
+  EXPECT_FALSE(is_sorted_disjoint({{0, 4}, {0, 4}}));  // duplicate offset
+}
+
+TEST(Extent, NormalizedSortsMergesAndDropsEmpty) {
+  const ExtentList canon =
+      normalized({{20, 5}, {0, 4}, {8, 0}, {4, 4}, {22, 6}});
+  // {0,4}+{4,4} abut -> merge; {20,5}+{22,6} overlap -> merge; {8,0} dropped.
+  ASSERT_EQ(canon.size(), 2u);
+  EXPECT_EQ(canon[0], (Extent{0, 8}));
+  EXPECT_EQ(canon[1], (Extent{20, 8}));
+  EXPECT_TRUE(is_sorted_disjoint(canon));
+  EXPECT_TRUE(normalized({{3, 0}, {9, 0}}).empty());
+}
+
+TEST(Extent, HullSpansFirstToLast) {
+  EXPECT_EQ(hull({}), (Extent{0, 0}));
+  EXPECT_EQ(hull({{8, 4}}), (Extent{8, 4}));
+  EXPECT_EQ(hull({{8, 4}, {100, 16}}), (Extent{8, 108}));
+}
+
+TEST(Extent, IntersectClipsToWindow) {
+  const ExtentList xs{{0, 10}, {20, 10}, {40, 10}};
+  EXPECT_TRUE(intersect(xs, {12, 5}).empty());  // falls in a hole
+  const ExtentList mid = intersect(xs, {5, 20});
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid[0], (Extent{5, 5}));    // tail of first
+  EXPECT_EQ(mid[1], (Extent{20, 5}));   // head of second, clipped at 25
+  const ExtentList all = intersect(xs, {0, 100});
+  EXPECT_EQ(all, xs);
+}
+
+TEST(Extent, ConcatLayoutKeepsRankAlignment) {
+  const ExtentList layout = concat_layout(100, {4, 0, 6});
+  ASSERT_EQ(layout.size(), 3u);
+  EXPECT_EQ(layout[0], (Extent{100, 4}));
+  EXPECT_EQ(layout[1], (Extent{104, 0}));  // empty chunk keeps its slot
+  EXPECT_EQ(layout[2], (Extent{104, 6}));
+  EXPECT_EQ(hull(layout), (Extent{100, 10}));
+}
+
+// --- FileView --------------------------------------------------------------
+
+TEST(FileView, IdentityAndContiguity) {
+  const mpiio::FileView identity;
+  EXPECT_TRUE(identity.contiguous());
+  identity.validate();
+  const ExtentList xs = identity.map(7, 5);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_EQ(xs[0], (Extent{7, 5}));
+
+  // stride == block: dense pattern is contiguous too.
+  const mpiio::FileView dense{/*displacement=*/10, /*etype_bytes=*/4,
+                              /*count=*/2, /*stride=*/8};
+  EXPECT_TRUE(dense.contiguous());
+  const ExtentList ys = dense.map(3, 9);
+  ASSERT_EQ(ys.size(), 1u);
+  EXPECT_EQ(ys[0], (Extent{13, 9}));
+}
+
+TEST(FileView, ValidateRejectsDegeneratePatterns) {
+  mpiio::FileView zero_etype;
+  zero_etype.etype_bytes = 0;
+  EXPECT_THROW(zero_etype.validate(), mpiio::IoError);
+  const mpiio::FileView overlapping{/*displacement=*/0, /*etype_bytes=*/4,
+                                    /*count=*/4, /*stride=*/8};
+  EXPECT_THROW(overlapping.validate(), mpiio::IoError);
+}
+
+TEST(FileView, MapWalksFrames) {
+  // Frames of 8 visible bytes every 32 file bytes, after a 100-byte header.
+  const mpiio::FileView v{/*displacement=*/100, /*etype_bytes=*/4,
+                          /*count=*/2, /*stride=*/32};
+  v.validate();
+  EXPECT_FALSE(v.contiguous());
+
+  // Whole frames: one extent per frame.
+  const ExtentList frames = v.map(0, 24);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], (Extent{100, 8}));
+  EXPECT_EQ(frames[1], (Extent{132, 8}));
+  EXPECT_EQ(frames[2], (Extent{164, 8}));
+  EXPECT_TRUE(is_sorted_disjoint(frames));
+
+  // Mid-frame start and end: partial extents at both edges.
+  const ExtentList partial = v.map(5, 10);
+  ASSERT_EQ(partial.size(), 2u);
+  EXPECT_EQ(partial[0], (Extent{105, 3}));
+  EXPECT_EQ(partial[1], (Extent{132, 7}));
+
+  // Zero-length range maps to nothing.
+  EXPECT_TRUE(v.map(40, 0).empty());
+}
+
+TEST(FileView, MapAgreesWithByteByByteLowering) {
+  const mpiio::FileView v{/*displacement=*/13, /*etype_bytes=*/3,
+                          /*count=*/5, /*stride=*/41};
+  v.validate();
+  const std::uint64_t bb = v.block_bytes();
+  for (std::uint64_t start = 0; start < 2 * bb; start += 7) {
+    for (const std::uint64_t len :
+         {std::uint64_t{1}, std::uint64_t{4}, bb, 3 * bb + 2}) {
+      const ExtentList xs = v.map(start, len);
+      EXPECT_TRUE(is_sorted_disjoint(xs));
+      EXPECT_EQ(total_bytes(xs), len);
+      // Every visible byte lands where the frame formula says.
+      std::uint64_t vo = start;
+      for (const Extent& x : xs) {
+        for (std::uint64_t i = 0; i < x.len; ++i, ++vo) {
+          const std::uint64_t expect =
+              v.displacement + (vo / bb) * v.stride + vo % bb;
+          EXPECT_EQ(x.offset + i, expect);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace remio
