@@ -190,9 +190,11 @@ class SrbServer::Session {
   }
 
   /// Parses and validates the extent header shared by both list verbs.
-  /// Returns false on a semantic violation (after replying kInvalid, which
-  /// keeps the session alive — the frame was fully received, so framing is
-  /// intact). Structurally truncated frames are the caller's proto_error.
+  /// Returns false on a violation (after replying kInvalid, which keeps
+  /// the session alive — the frame was fully received, so framing is
+  /// intact). That covers extent arrays truncated *inside* a complete
+  /// frame too: the length prefix was honoured, so the inconsistency is
+  /// semantic, not a framing loss.
   bool parse_extent_list(ByteReader& r, std::uint32_t count,
                          std::vector<Extent>& out, std::uint64_t& sum) {
     out.clear();
@@ -205,7 +207,10 @@ class SrbServer::Session {
       out.push_back({offset, len});
       sum += len;
     }
-    if (!r.ok()) return true;  // caller checks r.ok() and proto_errors
+    if (!r.ok()) {
+      reply(Status::kInvalid);
+      return false;
+    }
     for (std::size_t i = 0; i < out.size(); ++i) {
       if (out[i].len == 0 || (i > 0 && out[i].offset < watermark)) {
         reply(Status::kInvalid);
@@ -227,7 +232,6 @@ class SrbServer::Session {
     std::vector<Extent> extents;
     std::uint64_t sum = 0;
     if (!parse_extent_list(r, count, extents, sum)) return true;
-    if (!r.ok()) return proto_error();
     if (sum > kMaxMessage / 2) {
       reply(Status::kInvalid);
       return true;
@@ -277,7 +281,6 @@ class SrbServer::Session {
     std::vector<Extent> extents;
     std::uint64_t sum = 0;
     if (!parse_extent_list(r, count, extents, sum)) return true;
-    if (!r.ok()) return proto_error();
     // Zero-copy: the concatenated payload is scattered straight from the
     // request frame. A length mismatch is a fully-received-but-inconsistent
     // frame: reject without killing the session.

@@ -3,6 +3,9 @@
 // cleanly, the server stays up, and well-behaved clients keep working.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "simnet/timescale.hpp"
 #include "srb/client.hpp"
@@ -134,6 +137,201 @@ TEST_F(ProtocolFuzzTest, RandomGarbageStream) {
       // Server may slam the connection mid-send; that's a valid outcome.
     }
   }
+  expect_server_alive();
+}
+
+// ---------------------------------------------------------------------------
+// List-I/O verb fuzz (kObjReadList / kObjWriteList). Every frame below is
+// *fully framed* — the length prefix is honoured — so any inconsistency
+// inside it is semantic: the server must answer kInvalid and KEEP the
+// session (asserted by issuing a well-formed op on the same socket after).
+// ---------------------------------------------------------------------------
+
+class ListVerbFuzzTest : public ProtocolFuzzTest {
+ protected:
+  /// One framed request/response round trip on a raw socket.
+  Status roundtrip(simnet::Socket& sock, Op op, const Bytes& body,
+                   Bytes* resp_body = nullptr) {
+    send_frame(sock, static_cast<std::uint8_t>(op),
+               ByteSpan(body.data(), body.size()));
+    Bytes frame;
+    EXPECT_TRUE(recv_frame(sock, frame)) << "session dropped";
+    ByteReader r(ByteSpan(frame.data(), frame.size()));
+    const auto st = static_cast<Status>(r.i32());
+    if (resp_body != nullptr) {
+      const ByteSpan rest = r.rest();
+      resp_body->assign(rest.begin(), rest.end());
+    }
+    return st;
+  }
+
+  /// Opens an object through raw frames; returns the session-local fd.
+  std::int32_t raw_open(simnet::Socket& sock, const std::string& path) {
+    Bytes body;
+    ByteWriter w(body);
+    w.str(path);
+    w.u32(kRead | kWrite | kCreate);
+    Bytes resp;
+    EXPECT_EQ(roundtrip(sock, Op::kObjOpen, body, &resp), Status::kOk);
+    ByteReader r(ByteSpan(resp.data(), resp.size()));
+    return r.i32();
+  }
+
+  /// The same-session canary: a valid 1-extent write list must succeed.
+  void expect_session_alive(simnet::Socket& sock, std::int32_t fd) {
+    Bytes body;
+    ByteWriter w(body);
+    w.i32(fd);
+    w.u32(1);
+    w.u64(0);
+    w.u32(4);
+    w.raw(to_bytes("ping"));
+    EXPECT_EQ(roundtrip(sock, Op::kObjWriteList, body), Status::kOk);
+  }
+
+  /// Encodes fd + count + the given (offset,len) pairs.
+  static Bytes list_header(std::int32_t fd, std::uint32_t count,
+                           const std::vector<std::pair<std::uint64_t,
+                                                       std::uint32_t>>& ext) {
+    Bytes body;
+    ByteWriter w(body);
+    w.i32(fd);
+    w.u32(count);
+    for (const auto& [off, len] : ext) {
+      w.u64(off);
+      w.u32(len);
+    }
+    return body;
+  }
+};
+
+TEST_F(ListVerbFuzzTest, TruncatedExtentArrayRejectedKeepsSession) {
+  // Claims 16 extents, delivers 2 — a complete frame with a short array.
+  auto sock = raw_connect();
+  const std::int32_t fd = raw_open(*sock, "/lv/trunc");
+  for (const auto op : {Op::kObjReadList, Op::kObjWriteList}) {
+    const Bytes body = list_header(fd, 16, {{0, 64}, {64, 64}});
+    EXPECT_EQ(roundtrip(*sock, op, body), Status::kInvalid);
+  }
+  expect_session_alive(*sock, fd);
+  expect_server_alive();
+}
+
+TEST_F(ListVerbFuzzTest, CountAboveCapRejectedKeepsSession) {
+  auto sock = raw_connect();
+  const std::int32_t fd = raw_open(*sock, "/lv/cap");
+  for (const auto op : {Op::kObjReadList, Op::kObjWriteList}) {
+    for (const std::uint32_t count :
+         {kMaxListExtents + 1, kMaxListExtents + 4096, 0xffffffffu}) {
+      const Bytes body = list_header(fd, count, {{0, 8}});
+      EXPECT_EQ(roundtrip(*sock, op, body), Status::kInvalid) << count;
+    }
+    // count == 0 is equally invalid.
+    EXPECT_EQ(roundtrip(*sock, op, list_header(fd, 0, {})), Status::kInvalid);
+  }
+  expect_session_alive(*sock, fd);
+  expect_server_alive();
+}
+
+TEST_F(ListVerbFuzzTest, UnsortedExtentsRejectedKeepsSession) {
+  auto sock = raw_connect();
+  const std::int32_t fd = raw_open(*sock, "/lv/unsorted");
+  for (const auto op : {Op::kObjReadList, Op::kObjWriteList}) {
+    const Bytes body = list_header(fd, 2, {{4096, 64}, {0, 64}});
+    EXPECT_EQ(roundtrip(*sock, op, body), Status::kInvalid);
+  }
+  expect_session_alive(*sock, fd);
+  expect_server_alive();
+}
+
+TEST_F(ListVerbFuzzTest, OverlappingExtentsRejectedKeepsSession) {
+  auto sock = raw_connect();
+  const std::int32_t fd = raw_open(*sock, "/lv/overlap");
+  for (const auto op : {Op::kObjReadList, Op::kObjWriteList}) {
+    // Sorted by offset but [0,100) overlaps [50,150).
+    const Bytes body = list_header(fd, 2, {{0, 100}, {50, 100}});
+    EXPECT_EQ(roundtrip(*sock, op, body), Status::kInvalid);
+  }
+  expect_session_alive(*sock, fd);
+  expect_server_alive();
+}
+
+TEST_F(ListVerbFuzzTest, ZeroLengthExtentRejectedKeepsSession) {
+  auto sock = raw_connect();
+  const std::int32_t fd = raw_open(*sock, "/lv/zero");
+  for (const auto op : {Op::kObjReadList, Op::kObjWriteList}) {
+    for (const auto& ext :
+         std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>>{
+             {{0, 0}}, {{0, 64}, {64, 0}, {128, 64}}}) {
+      const Bytes body =
+          list_header(fd, static_cast<std::uint32_t>(ext.size()), ext);
+      EXPECT_EQ(roundtrip(*sock, op, body), Status::kInvalid);
+    }
+  }
+  expect_session_alive(*sock, fd);
+  expect_server_alive();
+}
+
+TEST_F(ListVerbFuzzTest, WriteListPayloadMismatchRejectedKeepsSession) {
+  auto sock = raw_connect();
+  const std::int32_t fd = raw_open(*sock, "/lv/mismatch");
+  // Extents promise 128 bytes; deliver 5 (short) and 200 (long).
+  for (const std::size_t payload : {std::size_t{5}, std::size_t{200}}) {
+    Bytes body = list_header(fd, 2, {{0, 64}, {64, 64}});
+    ByteWriter w(body);
+    const Bytes junk(payload, 'x');
+    w.raw(ByteSpan(junk.data(), junk.size()));
+    EXPECT_EQ(roundtrip(*sock, Op::kObjWriteList, body), Status::kInvalid)
+        << payload;
+  }
+  expect_session_alive(*sock, fd);
+  expect_server_alive();
+}
+
+TEST_F(ListVerbFuzzTest, ReadListSumAboveReplyCapRejectedKeepsSession) {
+  auto sock = raw_connect();
+  const std::int32_t fd = raw_open(*sock, "/lv/replycap");
+  // 33 extents of 2 MiB = 66 MiB > kMaxMessage / 2.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ext;
+  for (std::uint64_t i = 0; i < 33; ++i) ext.push_back({i << 21, 2u << 20});
+  const Bytes body = list_header(fd, 33, ext);
+  EXPECT_EQ(roundtrip(*sock, Op::kObjReadList, body), Status::kInvalid);
+  expect_session_alive(*sock, fd);
+  expect_server_alive();
+}
+
+TEST_F(ListVerbFuzzTest, RandomizedListFrameFuzzNeverKillsSession) {
+  // Random counts / extents / payload sizes, always fully framed: whatever
+  // the semantic verdict, the session must answer every frame and survive.
+  auto sock = raw_connect();
+  const std::int32_t fd = raw_open(*sock, "/lv/random");
+  Rng rng(20260807);
+  for (int i = 0; i < 200; ++i) {
+    const auto op = rng.chance(0.5) ? Op::kObjReadList : Op::kObjWriteList;
+    const std::uint32_t count = static_cast<std::uint32_t>(rng.below(12));
+    const std::uint32_t encoded =
+        rng.chance(0.2) ? count + static_cast<std::uint32_t>(rng.below(5000))
+                        : count;
+    Bytes body;
+    ByteWriter w(body);
+    w.i32(rng.chance(0.9) ? fd : static_cast<std::int32_t>(rng.below(100)));
+    w.u32(encoded);
+    std::uint64_t off = rng.below(1 << 20);
+    for (std::uint32_t e = 0; e < count; ++e) {
+      // Mostly sorted-disjoint, sometimes hostile.
+      if (rng.chance(0.15)) off = rng.below(1 << 20);
+      const std::uint32_t len = static_cast<std::uint32_t>(rng.below(512));
+      w.u64(off);
+      w.u32(len);
+      off += len;
+    }
+    if (op == Op::kObjWriteList) {
+      const Bytes junk = rng.bytes(rng.below(4096));
+      w.raw(ByteSpan(junk.data(), junk.size()));
+    }
+    (void)roundtrip(*sock, op, body);  // any status; session must answer
+  }
+  expect_session_alive(*sock, fd);
   expect_server_alive();
 }
 
