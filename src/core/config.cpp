@@ -15,6 +15,8 @@ void validate(const Config& cfg) {
     throw std::invalid_argument("semplar::Config: streams_per_node > 64");
   if (cfg.io_threads < 0 || cfg.io_threads > 256)
     throw std::invalid_argument("semplar::Config: io_threads out of range");
+  if (cfg.tenant.find('/') != std::string::npos)
+    throw std::invalid_argument("semplar::Config: tenant must not contain '/'");
   // stripe_size: any value is legal; Config::kAutoStripe (0) selects the
   // contiguous even split.
   if (cfg.queue_capacity == 0)

@@ -18,6 +18,11 @@ struct Config {
   std::string server_host = "orion";
   int server_port = 5544;
 
+  /// Tenant identity sent at login. Empty (the default) = untenanted. On a
+  /// multi-tenant broker a non-empty tenant confines every stream of this
+  /// rank to /tenants/<tenant> and its quotas. Must not contain '/'.
+  std::string tenant;
+
   /// TCP connections opened per file handle. 1 reproduces the original
   /// SEMPLAR; 2 is the paper's §7.2 configuration. The paper obtained >1 by
   /// calling MPI_File_open twice; this knob is the library-level version it

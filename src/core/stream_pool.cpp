@@ -25,7 +25,7 @@ StreamPool::StreamPool(simnet::Fabric& fabric, const Config& cfg,
     auto s = std::make_unique<Stream>();
     s->client = std::make_shared<srb::SrbClient>(
         fabric, cfg.client_host, cfg.server_host, cfg.server_port, cfg.conn,
-        stream_tag(i));
+        stream_tag(i), cfg.tenant);
     // Only the first stream may create or truncate; the others must see the
     // object the first one produced.
     std::uint32_t flags = srb_flags;
@@ -83,7 +83,7 @@ void StreamPool::repair_locked(Stream& s, int idx) {
   // reconnect can never clobber data the first open produced.
   auto fresh = std::make_shared<srb::SrbClient>(
       fabric_, cfg_.client_host, cfg_.server_host, cfg_.server_port, cfg_.conn,
-      stream_tag(idx));
+      stream_tag(idx), cfg_.tenant);
   const std::int32_t fd = fresh->open(path_, reopen_flags_);
   if (s.client != nullptr) {
     // Keep lifetime wire totals monotone across the client swap.

@@ -42,6 +42,8 @@ struct Span {
   SpanKind kind = SpanKind::kTask;
   std::int16_t stream = -1;  // TCP stream index for kWire; -1 = not stream-bound
   std::uint16_t rank = 0;    // filled when multi-rank collectors merge spans
+  std::uint16_t tenant = 0;  // tenant ordinal (0 = untenanted); multi-tenant
+                             // collectors key per-tenant tail latency on it
   std::uint32_t tid = 0;     // recording thread, hashed (Chrome-trace tid)
   std::uint64_t bytes = 0;
   double enqueue = 0.0;

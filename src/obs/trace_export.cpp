@@ -229,7 +229,8 @@ void write_chrome_trace(std::ostream& os, const std::vector<Span>& spans) {
        << ",\"pid\":" << s.rank << ",\"tid\":" << tid << ",\"args\":{"
        << "\"op\":" << s.op_id << ",\"kind\":\"" << kind_name(s.kind)
        << "\",\"stream\":" << s.stream << ",\"rank\":" << s.rank
-       << ",\"tid\":" << s.tid << ",\"bytes\":" << s.bytes
+       << ",\"tenant\":" << s.tenant << ",\"tid\":" << s.tid
+       << ",\"bytes\":" << s.bytes
        << ",\"enq\":" << fmt_double(s.enqueue)
        << ",\"deq\":" << fmt_double(s.dequeue)
        << ",\"ws\":" << fmt_double(s.wire_start)
@@ -258,6 +259,7 @@ std::vector<Span> read_chrome_trace(std::istream& is) {
     s.op_id = static_cast<std::uint64_t>(num_or(args->find("op"), 0.0));
     s.stream = static_cast<std::int16_t>(num_or(args->find("stream"), -1.0));
     s.rank = static_cast<std::uint16_t>(num_or(ev.find("pid"), 0.0));
+    s.tenant = static_cast<std::uint16_t>(num_or(args->find("tenant"), 0.0));
     s.tid = static_cast<std::uint32_t>(num_or(args->find("tid"), 0.0));
     s.bytes = static_cast<std::uint64_t>(num_or(args->find("bytes"), 0.0));
     s.enqueue = num_or(enq, 0.0);

@@ -19,13 +19,14 @@ simnet::ConnectOptions with_tag(simnet::ConnectOptions opts,
 SrbClient::SrbClient(simnet::Fabric& fabric, const std::string& from_host,
                      const std::string& server_host, int port,
                      const simnet::ConnectOptions& opts,
-                     const std::string& client_name)
+                     const std::string& client_name, const std::string& tenant)
     : sock_(fabric.connect(from_host, server_host, port,
                            with_tag(opts, client_name))) {
   connected_ = true;
   Bytes payload;
   ByteWriter w(payload);
   w.str(client_name);
+  w.str(tenant);  // optional trailing field; old servers never read it
   const Bytes resp = rpc_ok(Op::kConnect, payload, "connect");
   ByteReader r(ByteSpan(resp.data(), resp.size()));
   banner_ = r.str();

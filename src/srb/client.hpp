@@ -53,11 +53,15 @@ struct ObjStat {
 class SrbClient {
  public:
   /// Dials the broker and performs the Connect handshake (one extra RTT,
-  /// like the real SRB login). Throws on failure.
+  /// like the real SRB login). Throws on failure. A non-empty `tenant`
+  /// logs in under that tenant identity: when the broker runs in
+  /// multi-tenant mode the session is confined to /tenants/<tenant> and
+  /// subject to its quotas; a single-tenant broker ignores it.
   SrbClient(simnet::Fabric& fabric, const std::string& from_host,
             const std::string& server_host, int port,
             const simnet::ConnectOptions& opts = {},
-            const std::string& client_name = "remio-client");
+            const std::string& client_name = "remio-client",
+            const std::string& tenant = "");
   ~SrbClient();
 
   SrbClient(const SrbClient&) = delete;

@@ -14,9 +14,17 @@ void ObjectStore::create(ObjectId id) {
   if (objects_.count(id) == 0) objects_[id] = std::make_shared<Object>();
 }
 
-void ObjectStore::remove(ObjectId id) {
-  std::lock_guard lk(mu_);
-  objects_.erase(id);
+std::uint64_t ObjectStore::remove(ObjectId id) {
+  std::shared_ptr<Object> victim;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = objects_.find(id);
+    if (it == objects_.end()) return 0;
+    victim = std::move(it->second);
+    objects_.erase(it);
+  }
+  std::lock_guard olk(victim->mu);
+  return victim->data.size();
 }
 
 bool ObjectStore::exists(ObjectId id) const {
@@ -45,21 +53,30 @@ std::size_t ObjectStore::pread(ObjectId id, MutByteSpan out, std::uint64_t offse
   return n;
 }
 
-void ObjectStore::pwrite(ObjectId id, ByteSpan data, std::uint64_t offset) {
+std::uint64_t ObjectStore::pwrite(ObjectId id, ByteSpan data,
+                                  std::uint64_t offset) {
   auto obj = find(id);
+  std::uint64_t growth = 0;
   {
     std::lock_guard lk(obj->mu);
     const std::uint64_t end = offset + data.size();
-    if (obj->data.size() < end) obj->data.resize(end, '\0');
+    if (obj->data.size() < end) {
+      growth = end - obj->data.size();
+      obj->data.resize(end, '\0');
+    }
     std::copy_n(data.data(), data.size(), obj->data.data() + offset);
   }
   disk_write_.acquire(data.size());
+  return growth;
 }
 
-void ObjectStore::truncate(ObjectId id, std::uint64_t size) {
+std::int64_t ObjectStore::truncate(ObjectId id, std::uint64_t size) {
   auto obj = find(id);
   std::lock_guard lk(obj->mu);
+  const std::int64_t delta =
+      static_cast<std::int64_t>(size) - static_cast<std::int64_t>(obj->data.size());
   obj->data.resize(size, '\0');
+  return delta;
 }
 
 std::uint64_t ObjectStore::size(ObjectId id) const {

@@ -26,7 +26,9 @@ class ObjectStore {
 
   /// Ensures the object exists (created empty on first touch).
   void create(ObjectId id);
-  void remove(ObjectId id);
+  /// Removes the object; returns the bytes it held (0 if absent) so the
+  /// caller can settle tenant byte accounting exactly.
+  std::uint64_t remove(ObjectId id);
   bool exists(ObjectId id) const;
 
   /// pread semantics: reads up to out.size() bytes at `offset`; returns the
@@ -34,10 +36,13 @@ class ObjectStore {
   std::size_t pread(ObjectId id, MutByteSpan out, std::uint64_t offset);
 
   /// pwrite semantics: writes all of `data` at `offset`, zero-extending any
-  /// gap. Concurrent writers to disjoint ranges are safe.
-  void pwrite(ObjectId id, ByteSpan data, std::uint64_t offset);
+  /// gap. Concurrent writers to disjoint ranges are safe. Returns the
+  /// object's growth in bytes (0 for a pure overwrite), computed under the
+  /// per-object mutex, so per-tenant footprints can be settled exactly.
+  std::uint64_t pwrite(ObjectId id, ByteSpan data, std::uint64_t offset);
 
-  void truncate(ObjectId id, std::uint64_t size);
+  /// Returns the signed size delta (new - old), exact under the object mutex.
+  std::int64_t truncate(ObjectId id, std::uint64_t size);
   std::uint64_t size(ObjectId id) const;
 
   std::uint64_t total_bytes() const;

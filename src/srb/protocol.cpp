@@ -12,6 +12,7 @@ const char* status_name(Status s) {
     case Status::kProtocol: return "protocol error";
     case Status::kInvalid: return "invalid argument";
     case Status::kNoMcat: return "MCAT unavailable";
+    case Status::kQuotaExceeded: return "tenant quota exceeded";
   }
   return "unknown";
 }

@@ -52,6 +52,10 @@ enum class Status : std::int32_t {
   kProtocol = -5,
   kInvalid = -6,
   kNoMcat = -7,
+  /// A per-tenant quota (objects, bytes, or inflight requests) would be
+  /// exceeded. Semantic, session-preserving: the client can shed load or
+  /// free space and retry.
+  kQuotaExceeded = -8,
 };
 
 const char* status_name(Status s);

@@ -28,6 +28,8 @@ class SrbServer::Session {
     if (thread_.joinable()) thread_.join();
   }
 
+  bool finished() const { return done_.load(std::memory_order_acquire); }
+
  private:
   struct FdState {
     ObjectId object = kInvalidObject;
@@ -50,7 +52,50 @@ class SrbServer::Session {
       REMIO_LOG_WARN("srb session error: ", e.what());
     }
     sock_->close();
+    done_.store(true, std::memory_order_release);
   }
+
+  /// Maps a client-visible path into the tenant's carved-out namespace.
+  std::string map_path(const std::string& path) const {
+    if (prefix_.empty()) return path;
+    const std::string p = Mcat::normalize(path);
+    return p == "/" ? prefix_ : prefix_ + p;
+  }
+
+  /// Strips the tenant prefix from a catalog path for the client's view.
+  std::string unmap_path(const std::string& path) const {
+    if (prefix_.empty()) return path;
+    if (path.size() <= prefix_.size()) return "/";
+    return path.substr(prefix_.size());
+  }
+
+  /// RAII guard for one tenant data-plane op: inflight cap then DRR
+  /// admission. `admitted()` false means the cap rejected it (the caller
+  /// replies kQuotaExceeded).
+  class OpGuard {
+   public:
+    OpGuard(SrbServer& server, TenantRegistry::Tenant* tenant)
+        : server_(server), tenant_(tenant) {
+      if (tenant_ == nullptr) return;
+      if (!tenant_->try_begin_op()) {
+        tenant_ = nullptr;
+        admitted_ = false;
+        return;
+      }
+      server_.scheduler_.acquire(*tenant_);
+    }
+    ~OpGuard() {
+      if (tenant_ == nullptr) return;
+      server_.scheduler_.release();
+      tenant_->end_op();
+    }
+    bool admitted() const { return admitted_; }
+
+   private:
+    SrbServer& server_;
+    TenantRegistry::Tenant* tenant_;
+    bool admitted_ = true;
+  };
 
   void reply(Status st) { send_frame2(*sock_, static_cast<std::int32_t>(st), {}); }
 
@@ -63,6 +108,19 @@ class SrbServer::Session {
     switch (op) {
       case Op::kConnect: {
         (void)r.str();  // client name (logged only)
+        // Optional tenant identity: old clients simply omit it.
+        const std::string tenant = r.remaining() > 0 ? r.str() : std::string();
+        if (!r.ok()) return proto_error();
+        if (server_.cfg_.tenants.enabled && !tenant.empty()) {
+          if (tenant.find('/') != std::string::npos) {
+            // A slash would let a login escape its namespace carve-out.
+            reply(Status::kInvalid);
+            return false;
+          }
+          tenant_ = &server_.tenants_.login(tenant);
+          prefix_ = "/tenants/" + tenant;
+          server_.mcat_.make_collection(prefix_);
+        }
         Bytes body;
         ByteWriter w(body);
         w.str(server_.cfg_.banner);
@@ -92,29 +150,41 @@ class SrbServer::Session {
   }
 
   bool handle_open(ByteReader& r) {
-    const std::string path = r.str();
+    const std::string path = map_path(r.str());
     const std::uint32_t flags = r.u32();
     if (!r.ok()) return proto_error();
 
     auto id = server_.mcat_.resolve(path);
     if (!id && (flags & kCreate)) {
+      // Registering a new object consumes one object-quota slot; reserve
+      // it first and give it back if another session wins the create race.
+      if (tenant_ != nullptr && !tenant_->try_charge_objects()) {
+        reply(Status::kQuotaExceeded);
+        return true;
+      }
       // Auto-create parent collections, matching SRB's container behaviour.
       server_.mcat_.make_collection(Mcat::parent_of(path));
       id = server_.mcat_.register_object(path, server_.cfg_.resource);
       // Another session may have won the create race; the open still
       // succeeds against the object it registered.
-      if (!id) id = server_.mcat_.resolve(path);
+      if (!id) {
+        if (tenant_ != nullptr) tenant_->uncharge_objects();
+        id = server_.mcat_.resolve(path);
+      }
     }
     if (!id) {
       reply(Status::kNotFound);
       return true;
     }
     server_.store_.create(*id);
-    if (flags & kTrunc) server_.store_.truncate(*id, 0);
+    if (flags & kTrunc) {
+      const std::int64_t delta = server_.store_.truncate(*id, 0);
+      if (tenant_ != nullptr) tenant_->adjust_bytes(delta);
+    }
 
     FdState st;
     st.object = *id;
-    st.path = Mcat::normalize(path);
+    st.path = path;
     st.flags = flags;
     const std::int32_t fd = next_fd_++;
     fds_[fd] = st;
@@ -148,6 +218,11 @@ class SrbServer::Session {
       reply(Status::kInvalid);
       return true;
     }
+    OpGuard guard(server_, tenant_);
+    if (!guard.admitted()) {
+      reply(Status::kQuotaExceeded);
+      return true;
+    }
     const std::uint64_t at = offset >= 0 ? static_cast<std::uint64_t>(offset) : st.fp;
     Bytes data(len);
     const std::size_t n =
@@ -178,8 +253,28 @@ class SrbServer::Session {
       reply(Status::kInvalid);
       return true;
     }
+    OpGuard guard(server_, tenant_);
+    if (!guard.admitted()) {
+      reply(Status::kQuotaExceeded);
+      return true;
+    }
     const std::uint64_t at = offset >= 0 ? static_cast<std::uint64_t>(offset) : st.fp;
-    server_.store_.pwrite(st.object, data, at);
+    std::uint64_t reserved = 0;
+    if (tenant_ != nullptr) {
+      // Reserve the prospective growth up front (racy size estimate keeps
+      // enforcement prompt), then settle against the exact growth below.
+      const std::uint64_t cur = server_.store_.size(st.object);
+      const std::uint64_t end = at + data.size();
+      reserved = end > cur ? end - cur : 0;
+      if (reserved > 0 && !tenant_->try_charge_bytes(reserved)) {
+        reply(Status::kQuotaExceeded);
+        return true;
+      }
+    }
+    const std::uint64_t growth = server_.store_.pwrite(st.object, data, at);
+    if (tenant_ != nullptr)
+      tenant_->adjust_bytes(static_cast<std::int64_t>(growth) -
+                            static_cast<std::int64_t>(reserved));
     if (offset < 0) st.fp = at + data.size();
 
     Bytes body;
@@ -246,6 +341,11 @@ class SrbServer::Session {
       reply(Status::kInvalid);
       return true;
     }
+    OpGuard guard(server_, tenant_);
+    if (!guard.admitted()) {
+      reply(Status::kQuotaExceeded);
+      return true;
+    }
     // Response: per-extent actual lengths, then the read bytes concatenated
     // (short extents contribute only their actual bytes).
     Bytes lens;
@@ -299,13 +399,33 @@ class SrbServer::Session {
       reply(Status::kInvalid);
       return true;
     }
+    OpGuard guard(server_, tenant_);
+    if (!guard.admitted()) {
+      reply(Status::kQuotaExceeded);
+      return true;
+    }
+    std::uint64_t reserved = 0;
+    if (tenant_ != nullptr) {
+      // The extents are offset-sorted, so the last one bounds the new EOF.
+      const std::uint64_t cur = server_.store_.size(st.object);
+      const std::uint64_t end = extents.back().end();
+      reserved = end > cur ? end - cur : 0;
+      if (reserved > 0 && !tenant_->try_charge_bytes(reserved)) {
+        reply(Status::kQuotaExceeded);
+        return true;
+      }
+    }
     std::size_t consumed = 0;
+    std::uint64_t growth = 0;
     for (const Extent& x : extents) {
-      server_.store_.pwrite(
+      growth += server_.store_.pwrite(
           st.object, data.subspan(consumed, static_cast<std::size_t>(x.len)),
           x.offset);
       consumed += x.len;
     }
+    if (tenant_ != nullptr)
+      tenant_->adjust_bytes(static_cast<std::int64_t>(growth) -
+                            static_cast<std::int64_t>(reserved));
     Bytes body;
     ByteWriter w(body);
     w.u64(sum);
@@ -346,7 +466,7 @@ class SrbServer::Session {
   }
 
   bool handle_stat(ByteReader& r) {
-    const std::string path = r.str();
+    const std::string path = map_path(r.str());
     if (!r.ok()) return proto_error();
     const auto meta = server_.mcat_.meta(path);
     if (!meta) {
@@ -363,27 +483,31 @@ class SrbServer::Session {
   }
 
   bool handle_unlink(ByteReader& r) {
-    const std::string path = r.str();
+    const std::string path = map_path(r.str());
     if (!r.ok()) return proto_error();
     const auto id = server_.mcat_.unregister_object(path);
     if (!id) {
       reply(Status::kNotFound);
       return true;
     }
-    server_.store_.remove(*id);
+    const std::uint64_t freed = server_.store_.remove(*id);
+    if (tenant_ != nullptr) {
+      tenant_->uncharge_objects();
+      tenant_->adjust_bytes(-static_cast<std::int64_t>(freed));
+    }
     reply(Status::kOk);
     return true;
   }
 
   bool handle_mkcoll(ByteReader& r) {
-    const std::string path = r.str();
+    const std::string path = map_path(r.str());
     if (!r.ok()) return proto_error();
     reply(server_.mcat_.make_collection(path) ? Status::kOk : Status::kExists);
     return true;
   }
 
   bool handle_list(ByteReader& r) {
-    const std::string path = r.str();
+    const std::string path = map_path(r.str());
     if (!r.ok()) return proto_error();
     if (!server_.mcat_.collection_exists(path)) {
       reply(Status::kNotFound);
@@ -393,13 +517,13 @@ class SrbServer::Session {
     Bytes body;
     ByteWriter w(body);
     w.u32(static_cast<std::uint32_t>(entries.size()));
-    for (const auto& e : entries) w.str(e);
+    for (const auto& e : entries) w.str(unmap_path(e));
     reply(Status::kOk, body);
     return true;
   }
 
   bool handle_set_attr(ByteReader& r) {
-    const std::string path = r.str();
+    const std::string path = map_path(r.str());
     const std::string key = r.str();
     const std::string value = r.str();
     if (!r.ok()) return proto_error();
@@ -408,7 +532,7 @@ class SrbServer::Session {
   }
 
   bool handle_get_attr(ByteReader& r) {
-    const std::string path = r.str();
+    const std::string path = map_path(r.str());
     const std::string key = r.str();
     if (!r.ok()) return proto_error();
     const auto value = server_.mcat_.get_attr(path, key);
@@ -433,13 +557,21 @@ class SrbServer::Session {
   std::thread thread_;
   std::map<std::int32_t, FdState> fds_;
   std::int32_t next_fd_ = 3;
+  std::atomic<bool> done_{false};
+  // Tenant identity bound at kConnect (null = untenanted legacy session).
+  TenantRegistry::Tenant* tenant_ = nullptr;
+  std::string prefix_;  // "/tenants/<name>" namespace carve-out, or empty
 };
 
 // ---------------------------------------------------------------------------
 // SrbServer
 // ---------------------------------------------------------------------------
 SrbServer::SrbServer(simnet::Fabric& fabric, ServerConfig cfg)
-    : fabric_(fabric), cfg_(std::move(cfg)), store_(cfg_.store) {}
+    : fabric_(fabric),
+      cfg_(std::move(cfg)),
+      store_(cfg_.store),
+      tenants_(cfg_.tenants),
+      scheduler_(cfg_.tenants) {}
 
 SrbServer::~SrbServer() { stop(); }
 
@@ -453,6 +585,7 @@ void SrbServer::accept_loop() {
   while (true) {
     auto sock = acceptor_->accept();
     if (!sock) break;
+    reap_finished_sessions();
     auto session = std::make_shared<Session>(*this, std::move(*sock));
     {
       std::lock_guard lk(sessions_mu_);
@@ -461,6 +594,26 @@ void SrbServer::accept_loop() {
     ++sessions_served_;
     session->run_async(session);
   }
+}
+
+// Joins and drops sessions whose loop has exited, so long-lived servers
+// facing many short-lived clients (the multi-tenant ablation drives 10k)
+// don't accumulate dead threads and fd tables.
+void SrbServer::reap_finished_sessions() {
+  std::vector<std::shared_ptr<Session>> dead;
+  {
+    std::lock_guard lk(sessions_mu_);
+    auto it = sessions_.begin();
+    while (it != sessions_.end()) {
+      if ((*it)->finished()) {
+        dead.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& s : dead) s->join();  // joins outside the lock
 }
 
 void SrbServer::stop() {

@@ -15,6 +15,7 @@
 #include "srb/mcat.hpp"
 #include "srb/object_store.hpp"
 #include "srb/protocol.hpp"
+#include "srb/tenant.hpp"
 
 namespace remio::srb {
 
@@ -24,6 +25,9 @@ struct ServerConfig {
   StoreConfig store;
   std::string resource = "orion-disk";
   std::string banner = "remio-srb 3.2.1-sim";
+  /// Multi-tenant mode (src/srb/tenant.hpp). Default OFF: tenant strings
+  /// in kConnect are ignored and the broker behaves exactly as before.
+  TenantConfig tenants;
 };
 
 class SrbServer {
@@ -39,6 +43,8 @@ class SrbServer {
 
   Mcat& mcat() { return mcat_; }
   ObjectStore& store() { return store_; }
+  TenantRegistry& tenants() { return tenants_; }
+  DrrScheduler& scheduler() { return scheduler_; }
   const ServerConfig& config() const { return cfg_; }
 
   std::uint64_t sessions_served() const { return sessions_served_.load(); }
@@ -46,11 +52,14 @@ class SrbServer {
  private:
   class Session;
   void accept_loop();
+  void reap_finished_sessions();
 
   simnet::Fabric& fabric_;
   ServerConfig cfg_;
   Mcat mcat_;
   ObjectStore store_;
+  TenantRegistry tenants_;
+  DrrScheduler scheduler_;
   std::shared_ptr<simnet::Acceptor> acceptor_;
   std::thread accept_thread_;
   std::mutex sessions_mu_;

@@ -1,0 +1,100 @@
+#include "srb/tenant.hpp"
+
+namespace remio::srb {
+
+TenantRegistry::Tenant& TenantRegistry::login(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = tenants_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Tenant>();
+    slot->name_ = name;
+    slot->quota_ = cfg_.default_quota;
+    if (slot->quota_.weight == 0) slot->quota_.weight = 1;
+  }
+  return *slot;
+}
+
+void TenantRegistry::set_quota(const std::string& name,
+                               const TenantQuota& quota) {
+  Tenant& t = login(name);
+  std::lock_guard lk(mu_);
+  t.quota_ = quota;
+  if (t.quota_.weight == 0) t.quota_.weight = 1;
+}
+
+TenantRegistry::Tenant* TenantRegistry::find(const std::string& name) {
+  std::lock_guard lk(mu_);
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> TenantRegistry::names() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, t] : tenants_) out.push_back(name);
+  return out;
+}
+
+void DrrScheduler::acquire(TenantRegistry::Tenant& t) {
+  if (slots_ <= 0) return;
+  std::unique_lock lk(mu_);
+  if (!t.drr_active_) {
+    t.drr_active_ = true;
+    active_.push_back(&t);
+  }
+  ++t.drr_waiting_;
+  const std::uint64_t ticket = ++t.drr_tickets_;
+  grant_locked();
+  cv_.wait(lk, [&] { return t.drr_granted_ >= ticket; });
+}
+
+void DrrScheduler::release() {
+  if (slots_ <= 0) return;
+  std::lock_guard lk(mu_);
+  --in_service_;
+  grant_locked();
+}
+
+void DrrScheduler::grant_locked() {
+  bool granted_any = false;
+  while (in_service_ < slots_) {
+    // Hand the next free slot to the first waiting tenant with deficit,
+    // scanning round-robin from the cursor.
+    bool granted = false;
+    for (std::size_t k = 0; k < active_.size(); ++k) {
+      const std::size_t i = (cursor_ + k) % active_.size();
+      TenantRegistry::Tenant* t = active_[i];
+      if (t->drr_waiting_ > 0 && t->drr_deficit_ > 0) {
+        --t->drr_deficit_;
+        --t->drr_waiting_;
+        ++t->drr_granted_;
+        ++in_service_;
+        cursor_ = (i + 1) % active_.size();
+        granted = granted_any = true;
+        break;
+      }
+    }
+    if (granted) continue;
+
+    // No grantable tenant. If anyone is still waiting they are all out of
+    // deficit: start a new round. Idle tenants forfeit their leftover
+    // deficit (classic DRR — credit does not accumulate while not queued).
+    bool any_waiting = false;
+    for (TenantRegistry::Tenant* t : active_) {
+      if (t->drr_waiting_ > 0)
+        any_waiting = true;
+      else
+        t->drr_deficit_ = 0;
+    }
+    if (!any_waiting) break;
+    ++rounds_;
+    for (TenantRegistry::Tenant* t : active_)
+      if (t->drr_waiting_ > 0)
+        t->drr_deficit_ +=
+            static_cast<std::uint64_t>(quantum_) * t->quota().weight;
+  }
+  if (granted_any) cv_.notify_all();
+}
+
+}  // namespace remio::srb

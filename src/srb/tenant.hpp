@@ -1,0 +1,213 @@
+// Multi-tenant broker state: per-tenant identity, quotas, usage accounting,
+// and the weighted deficit-round-robin admission scheduler.
+//
+// A tenant is named at login (kConnect carries an optional tenant string)
+// and every catalog path the session touches is transparently prefixed
+// with /tenants/<name>, so tenants get disjoint namespaces without any
+// client-side cooperation. Quotas bound three resources: registered
+// objects, byte footprint in the object store, and concurrently inflight
+// data-plane requests. Enforcement lives in the session layer; this file
+// only holds the bookkeeping.
+//
+// Byte accounting uses a reserve/adjust pattern: the session reserves the
+// prospective growth of a write before issuing it (an upper-bound estimate
+// from the racy current size), then corrects the reservation with the
+// exact growth the store computed under the per-object mutex. The estimate
+// makes enforcement prompt; the adjustment makes the accounting exact —
+// after quiescence a tenant's byte counter equals the sum of its objects'
+// sizes, which tests/test_tenant.cpp asserts under concurrent writers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace remio::srb {
+
+struct TenantQuota {
+  std::uint64_t max_objects = 0;   // registered objects; 0 = unlimited
+  std::uint64_t max_bytes = 0;     // store footprint; 0 = unlimited
+  std::uint32_t max_inflight = 0;  // concurrent data-plane ops; 0 = unlimited
+  std::uint32_t weight = 1;        // DRR share relative to other tenants
+};
+
+struct TenantConfig {
+  /// Master switch. Off (the default) = connects carrying a tenant string
+  /// are served untenanted, preserving the paper-baseline byte flow.
+  bool enabled = false;
+  /// Quota stamped on a tenant at first login (set_quota overrides).
+  TenantQuota default_quota;
+  /// Data-plane requests serviced concurrently across all tenants;
+  /// 0 disables admission scheduling entirely.
+  int service_slots = 0;
+  /// Service grants a weight-1 tenant earns per DRR replenish round.
+  std::uint32_t drr_quantum = 4;
+};
+
+class DrrScheduler;
+
+class TenantRegistry {
+ public:
+  /// Per-tenant live state. Usage counters are atomics (charged from many
+  /// session threads); the drr_* fields at the bottom belong to the
+  /// DrrScheduler and are only touched under its mutex.
+  class Tenant {
+   public:
+    const std::string& name() const { return name_; }
+    const TenantQuota& quota() const { return quota_; }
+
+    /// Reserves `n` object slots; fails (without charging) over quota.
+    bool try_charge_objects(std::uint64_t n = 1) {
+      return charge(objects_, n, quota_.max_objects);
+    }
+    void uncharge_objects(std::uint64_t n = 1) {
+      objects_.fetch_sub(n, std::memory_order_relaxed);
+    }
+
+    /// Reserves `add` bytes of store footprint; fails over quota.
+    bool try_charge_bytes(std::uint64_t add) {
+      return charge(bytes_, add, quota_.max_bytes);
+    }
+    /// Exact post-facto correction (signed); never fails — the store
+    /// already holds the bytes, the reservation just over/under-shot.
+    void adjust_bytes(std::int64_t delta) {
+      bytes_.fetch_add(static_cast<std::uint64_t>(delta),
+                       std::memory_order_relaxed);
+    }
+
+    /// Claims an inflight-request slot; fails at the cap.
+    bool try_begin_op() {
+      if (quota_.max_inflight == 0) {
+        inflight_.fetch_add(1, std::memory_order_relaxed);
+        ops_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      std::uint32_t cur = inflight_.load(std::memory_order_relaxed);
+      while (true) {
+        if (cur >= quota_.max_inflight) return false;
+        if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                            std::memory_order_relaxed)) {
+          ops_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+    }
+    void end_op() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+
+    std::uint64_t objects() const {
+      return objects_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t bytes() const {
+      return bytes_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+    std::uint32_t inflight() const {
+      return inflight_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class TenantRegistry;
+    friend class DrrScheduler;
+
+    static bool charge(std::atomic<std::uint64_t>& counter, std::uint64_t add,
+                       std::uint64_t cap) {
+      if (cap == 0) {
+        counter.fetch_add(add, std::memory_order_relaxed);
+        return true;
+      }
+      std::uint64_t cur = counter.load(std::memory_order_relaxed);
+      while (true) {
+        if (cur + add > cap) return false;
+        if (counter.compare_exchange_weak(cur, cur + add,
+                                          std::memory_order_relaxed))
+          return true;
+      }
+    }
+
+    std::string name_;
+    TenantQuota quota_;
+    std::atomic<std::uint64_t> objects_{0};
+    std::atomic<std::uint64_t> bytes_{0};
+    std::atomic<std::uint64_t> ops_{0};
+    std::atomic<std::uint32_t> inflight_{0};
+
+    // --- DrrScheduler state, guarded by the scheduler's mutex ---
+    bool drr_active_ = false;       // appears in the scheduler's RR list
+    std::uint64_t drr_deficit_ = 0;
+    std::uint32_t drr_waiting_ = 0;
+    std::uint64_t drr_tickets_ = 0;  // FIFO tickets handed to waiters
+    std::uint64_t drr_granted_ = 0;  // tickets admitted so far
+  };
+
+  explicit TenantRegistry(TenantConfig cfg = {}) : cfg_(std::move(cfg)) {}
+
+  const TenantConfig& config() const { return cfg_; }
+
+  /// Returns the tenant, creating it with the default quota on first login.
+  Tenant& login(const std::string& name);
+
+  /// Pre-provisions (or re-stamps) a tenant's quota. Must not race active
+  /// sessions of that tenant — intended for setup before traffic starts.
+  void set_quota(const std::string& name, const TenantQuota& quota);
+
+  Tenant* find(const std::string& name);
+  std::vector<std::string> names() const;
+
+ private:
+  TenantConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+};
+
+/// Weighted deficit round robin over the broker's data-plane service slots.
+/// Each tenant earns quantum*weight grants per replenish round; a round
+/// only happens when no waiting tenant has deficit left, so a tenant that
+/// wants one op is admitted within one full round no matter how many ops
+/// heavier tenants have queued (the no-starvation bound test_tenant pins).
+class DrrScheduler {
+ public:
+  explicit DrrScheduler(const TenantConfig& cfg)
+      : slots_(cfg.enabled ? cfg.service_slots : 0),
+        quantum_(cfg.drr_quantum == 0 ? 1 : cfg.drr_quantum) {}
+
+  /// Blocks until the tenant is granted a service slot. No-op when
+  /// admission is disabled (service_slots == 0).
+  void acquire(TenantRegistry::Tenant& t);
+  void release();
+
+  /// Replenish rounds completed so far (observability + fairness tests).
+  std::uint64_t rounds() const {
+    std::lock_guard lk(mu_);
+    return rounds_;
+  }
+
+  /// Requests currently blocked in acquire() across all tenants; lets a
+  /// test wait for a queue to build before releasing the slot it holds.
+  std::size_t waiting() const {
+    std::lock_guard lk(mu_);
+    std::size_t n = 0;
+    for (const TenantRegistry::Tenant* t : active_) n += t->drr_waiting_;
+    return n;
+  }
+
+  bool enabled() const { return slots_ > 0; }
+
+ private:
+  void grant_locked();
+
+  const int slots_;
+  const std::uint32_t quantum_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int in_service_ = 0;
+  std::vector<TenantRegistry::Tenant*> active_;  // RR order, stable
+  std::size_t cursor_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace remio::srb
