@@ -157,6 +157,36 @@ def check_sieving(args):
                      b["sim_s"], r["sim_s"], args.warn_pct)
 
 
+def check_tenants(args):
+    base, run = load_pair(args.baseline_dir, args.run_dir,
+                          "BENCH_ablation_tenants.json")
+    if base is None:
+        return
+    for k in ("clients", "tenants", "threads", "slots", "write_bytes"):
+        if base.get(k) != run.get(k):
+            fail(f"tenants: stable field '{k}' drifted "
+                 f"{base.get(k)} -> {run.get(k)}")
+    base_by = {t["tenant"]: t for t in base.get("per_tenant", [])}
+    run_by = {t["tenant"]: t for t in run.get("per_tenant", [])}
+    if sorted(base_by) != sorted(run_by):
+        fail(f"tenants: tenant set drifted\n    baseline: {sorted(base_by)}\n"
+             f"    run:      {sorted(run_by)}")
+        return
+    for name in sorted(base_by):
+        b, r = base_by[name], run_by[name]
+        # Quotas are generous by construction, so ops/objects/bytes are a
+        # pure function of the client grid: any drift means an op was
+        # dropped, double-charged, or mis-accounted.
+        for field in ("ops", "objects", "bytes"):
+            if b[field] != r[field]:
+                fail(f"tenants {name}: stable field '{field}' drifted "
+                     f"{b[field]} -> {r[field]}")
+    note("tenants timing deltas (warn-only):")
+    for field in ("p50_us", "p95_us", "p99_us"):
+        timing_delta("tenants-global", field, base[field], run[field],
+                     args.warn_pct)
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--baseline-dir", default="bench/baseline")
@@ -169,6 +199,7 @@ def main():
     check_substrate(args)
     check_ablation(args)
     check_sieving(args)
+    check_tenants(args)
 
     if failures:
         note(f"\n{len(failures)} stable-field failure(s).")
