@@ -187,6 +187,43 @@ def check_tenants(args):
                      args.warn_pct)
 
 
+def check_integrity(args):
+    base, run = load_pair(args.baseline_dir, args.run_dir,
+                          "BENCH_ablation_integrity.json")
+    if base is None:
+        return
+    # The wire-CRC byte overhead is an exact protocol property: one frame per
+    # rpc, 4 bytes per frame per direction (the connect pair carries the
+    # feature-flags word and its echo instead of a CRC trailer).
+    for k in ("rpcs", "frames_per_direction", "delta_sent_bytes",
+              "delta_recv_bytes", "per_frame_sent", "per_frame_recv"):
+        if base["overhead"].get(k) != run["overhead"].get(k):
+            fail(f"integrity overhead: stable field '{k}' drifted "
+                 f"{base['overhead'].get(k)} -> {run['overhead'].get(k)}")
+    # Injected-fault counts depend on I/O-thread interleaving, so only the
+    # contracts gate: the run ends intact, at least one damaged frame was
+    # detected, and integrity errors never tore a connection down.
+    corr = run.get("corruption", {})
+    if corr.get("intact") is not True:
+        fail("integrity corruption: run did not end intact")
+    if corr.get("any_detected") is not True:
+        fail("integrity corruption: no checksum mismatch was detected")
+    if corr.get("reconnects") != 0:
+        fail(f"integrity corruption: {corr.get('reconnects')} reconnect(s) — "
+             "integrity errors must replay, not reconnect")
+    for k in ("mismatched", "quarantined", "healed"):
+        if base["scrub"].get(k) != run["scrub"].get(k):
+            fail(f"integrity scrub: stable field '{k}' drifted "
+                 f"{base['scrub'].get(k)} -> {run['scrub'].get(k)}")
+    note("integrity timing deltas (warn-only):")
+    timing_delta("integrity", "reread_wall_ratio",
+                 base["overhead"]["reread_wall_ratio"],
+                 run["overhead"]["reread_wall_ratio"], args.warn_pct)
+    timing_delta("integrity", "corruption sim_s",
+                 base["corruption"]["sim_s"], corr.get("sim_s", 0.0),
+                 args.warn_pct)
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--baseline-dir", default="bench/baseline")
@@ -200,6 +237,7 @@ def main():
     check_ablation(args)
     check_sieving(args)
     check_tenants(args)
+    check_integrity(args)
 
     if failures:
         note(f"\n{len(failures)} stable-field failure(s).")

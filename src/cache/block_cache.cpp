@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/checksum.hpp"
 #include "simnet/timescale.hpp"
 
 namespace remio::cache {
@@ -101,6 +102,7 @@ void BlockCache::fill_block(Lock& lk, Block& b, std::size_t target) {
               b.data.begin() + static_cast<std::ptrdiff_t>(target), 0);
     b.valid = target;
   }
+  if (!err) extend_sum(b, from);
   b.filling = false;
   fill_cv_.notify_all();
   if (err) std::rethrow_exception(err);
@@ -247,6 +249,9 @@ std::size_t BlockCache::write_locked(Lock& lk, std::uint64_t offset,
     }
     std::copy_n(data.data() + done, len, b.data.data() + in_blk);
     b.valid = std::max(b.valid, in_blk + len);
+    // Local writes stale the fill-time CRC; the dirty bytes get fresh
+    // coverage from the wire checksum on flush and the at-rest sums after.
+    b.sum_valid = b.data.size() + 1;  // never equals valid again until refill
     if (!writeback_.write_through())
       crossed_hwm =
           writeback_.mark_dirty(idx, in_blk, in_blk + len, opts_.block_bytes) ||
@@ -384,6 +389,9 @@ void BlockCache::enforce_capacity(Lock& lk) {
           lk, [this, index] { return writeback_.plan_block(index, opts_.block_bytes); });
       continue;  // lock was released: re-scan from scratch
     }
+    // Last chance to notice client-memory rot before the copy disappears;
+    // counted, not thrown — the canonical bytes still live on the broker.
+    check_sum(*victim);
     blocks_.erase(*victim_it);
     lru_.erase(victim_it);
   }
@@ -475,10 +483,55 @@ void BlockCache::prefetch_fill(std::uint64_t index) {
     }
   }
   b.valid = std::max(b.valid, from + n);
+  extend_sum(b, from);
   b.filling = false;
   unpin(b);
   --prefetch_inflight_;
   fill_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Integrity
+// ---------------------------------------------------------------------------
+
+void BlockCache::extend_sum(Block& b, std::size_t from) const {
+  if (!opts_.verify) return;
+  // Seed-chaining: crc(0..valid) extends from crc(0..from) over the new
+  // bytes. A stale sum (local write since) cannot be extended — skip.
+  if (b.sum_valid != from || b.valid <= from) return;
+  b.sum = crc32c(ByteSpan(b.data.data() + from, b.valid - from), b.sum);
+  b.sum_valid = b.valid;
+}
+
+bool BlockCache::check_sum(const Block& b) {
+  if (!opts_.verify || b.valid == 0 || b.sum_valid != b.valid) return true;
+  const bool ok = crc32c(ByteSpan(b.data.data(), b.valid)) == b.sum;
+  if (counters_ != nullptr) {
+    CacheCounters::bump(counters_->integrity_verified);
+    if (!ok) CacheCounters::bump(counters_->integrity_failures);
+  }
+  if (!ok && tracer_ != nullptr)
+    tracer_->note_instant(obs::SpanKind::kIntegrity, b.valid);
+  return ok;
+}
+
+std::size_t BlockCache::verify_resident() {
+  Lock lk(mu_);
+  std::size_t bad = 0;
+  for (auto& [index, b] : blocks_) {
+    if (b.filling || b.queued_prefetch) continue;
+    if (!check_sum(b)) ++bad;
+  }
+  return bad;
+}
+
+void BlockCache::debug_flip_byte(std::uint64_t offset) {
+  Lock lk(mu_);
+  const auto it = blocks_.find(offset / opts_.block_bytes);
+  if (it == blocks_.end()) return;
+  Block& b = it->second;
+  const auto in_blk = static_cast<std::size_t>(offset % opts_.block_bytes);
+  if (in_blk < b.valid) b.data[in_blk] ^= 0x01;
 }
 
 // ---------------------------------------------------------------------------

@@ -40,6 +40,12 @@ struct CacheOptions {
   std::size_t block_bytes = 1u << 20;  // fixed block size
   int readahead_blocks = 0;            // 0 = no prefetch
   std::size_t writeback_hwm = 0;       // 0 = write-through
+  /// Per-block CRC32C on fetched data: computed when a fill lands, checked
+  /// before a clean block is evicted and by verify_resident(). The hit path
+  /// does no checksum work, so hits stay as cheap as before. Local writes
+  /// stale a block's sum (dirty bytes are covered by the wire/at-rest
+  /// checksums once flushed).
+  bool verify = true;
 };
 
 /// What the cache needs from the layer below. SEMPLAR wires this to its
@@ -96,6 +102,16 @@ class BlockCache {
   /// the owner uses it to decide when to bump the coherence generation.
   bool take_wrote();
 
+  /// Checks every resident block whose CRC is current against its data;
+  /// returns the number of mismatches (also counted in CacheCounters).
+  /// A scrub for the client-side copy of the data.
+  std::size_t verify_resident();
+
+  /// Test hook: silently flips one byte of resident cached data (no CRC
+  /// update), simulating client-memory rot the verify paths must catch.
+  /// No-op when the byte is not resident.
+  void debug_flip_byte(std::uint64_t offset);
+
   // Introspection (tests, stats dumps).
   std::size_t resident_blocks() const;
   std::size_t dirty_bytes() const;
@@ -109,6 +125,8 @@ class BlockCache {
     bool filling = false;     // a wire fetch is populating this block
     bool queued_prefetch = false;  // speculative fill queued, not yet running
     bool prefetched = false;  // filled speculatively, not yet demanded
+    std::uint32_t sum = 0;       // CRC32C over data[0, sum_valid)
+    std::size_t sum_valid = 0;   // prefix the sum covers; != valid ⇒ stale
     std::list<std::uint64_t>::iterator lru_it;
   };
 
@@ -130,6 +148,14 @@ class BlockCache {
   /// not have when `target` demands it (write gap past EOF). Waits out a
   /// concurrent fill of the same block first.
   void fill_block(Lock& lk, Block& b, std::size_t target);
+
+  /// Extends b's CRC over the bytes a fill just landed in [from, b.valid),
+  /// seed-chaining from the existing sum; skipped when the sum was already
+  /// stale (a local write intervened).
+  void extend_sum(Block& b, std::size_t from) const;
+  /// True when b's CRC is current and matches its data; counts the check
+  /// (and any failure) in CacheCounters / the tracer.
+  bool check_sum(const Block& b);
 
   /// Evicts LRU blocks (never pinned/filling ones) until within capacity;
   /// dirty victims are written back first. Tolerates overshoot when

@@ -17,6 +17,8 @@ struct CacheCounters {
   std::atomic<std::uint64_t> prefetch_useful{0};  // prefetched blocks later demanded
   std::atomic<std::uint64_t> writeback_coalesced{0};  // small writes merged into a neighbour
   std::atomic<std::uint64_t> writeback_flushes{0};    // coalesced wire writes issued
+  std::atomic<std::uint64_t> integrity_verified{0};   // resident-block CRC checks run
+  std::atomic<std::uint64_t> integrity_failures{0};   // checks that found rot
 
   static void bump(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
     c.fetch_add(n, std::memory_order_relaxed);

@@ -1,0 +1,139 @@
+#include "common/checksum.hpp"
+
+#include <array>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define REMIO_CRC32C_X86 1
+#endif
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define REMIO_CRC32C_ARM 1
+#include <arm_acle.h>
+#endif
+
+namespace remio {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+
+/// Slice-by-8 tables: table[0] is the classic byte-at-a-time table; table[k]
+/// advances a byte that sits k positions deeper in the 8-byte word.
+struct Tables {
+  std::uint32_t t[8][256];
+};
+
+constexpr Tables make_tables() {
+  Tables tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (c >> 1) ^ kPoly : c >> 1;
+    tb.t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i)
+    for (int k = 1; k < 8; ++k)
+      tb.t[k][i] = (tb.t[k - 1][i] >> 8) ^ tb.t[0][tb.t[k - 1][i] & 0xFFu];
+  return tb;
+}
+
+// constinit-style static: generated once at compile time, lives in .rodata.
+constexpr Tables kTables = make_tables();
+
+std::uint32_t crc_sw(const unsigned char* p, std::size_t n, std::uint32_t crc) {
+  crc = ~crc;
+  // Head: align to 8 bytes so the slicing loop loads aligned words.
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFFu];
+    --n;
+  }
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    w ^= crc;  // little-endian: the CRC folds into the low 4 bytes
+    crc = kTables.t[7][w & 0xFF] ^ kTables.t[6][(w >> 8) & 0xFF] ^
+          kTables.t[5][(w >> 16) & 0xFF] ^ kTables.t[4][(w >> 24) & 0xFF] ^
+          kTables.t[3][(w >> 32) & 0xFF] ^ kTables.t[2][(w >> 40) & 0xFF] ^
+          kTables.t[1][(w >> 48) & 0xFF] ^ kTables.t[0][(w >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFFu];
+    --n;
+  }
+  return ~crc;
+}
+
+#if defined(REMIO_CRC32C_X86)
+__attribute__((target("sse4.2"))) std::uint32_t crc_hw(const unsigned char* p,
+                                                       std::size_t n,
+                                                       std::uint32_t crc) {
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+  std::uint64_t c64 = crc;
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    c64 = __builtin_ia32_crc32di(c64, w);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(c64);
+  while (n > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+
+bool detect_hw() { return __builtin_cpu_supports("sse4.2") != 0; }
+#elif defined(REMIO_CRC32C_ARM)
+std::uint32_t crc_hw(const unsigned char* p, std::size_t n, std::uint32_t crc) {
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = __crc32cb(crc, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    crc = __crc32cd(crc, w);
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = __crc32cb(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+
+bool detect_hw() { return true; }  // __ARM_FEATURE_CRC32 implies support
+#else
+std::uint32_t crc_hw(const unsigned char* p, std::size_t n, std::uint32_t crc) {
+  return crc_sw(p, n, crc);
+}
+bool detect_hw() { return false; }
+#endif
+
+using CrcFn = std::uint32_t (*)(const unsigned char*, std::size_t,
+                                std::uint32_t);
+
+/// Resolved once; every later call is an indirect call through a constant.
+const CrcFn kImpl = detect_hw() ? &crc_hw : &crc_sw;
+const bool kHw = detect_hw();
+
+}  // namespace
+
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed) {
+  return kImpl(reinterpret_cast<const unsigned char*>(data.data()), data.size(),
+               seed);
+}
+
+void Crc32c::update(ByteSpan data) { crc_ = crc32c(data, crc_); }
+
+bool crc32c_hw_available() { return kHw; }
+
+}  // namespace remio

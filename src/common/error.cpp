@@ -10,6 +10,7 @@ const char* domain_name(ErrorDomain d) {
     case ErrorDomain::kProtocol: return "protocol";
     case ErrorDomain::kEngine: return "engine";
     case ErrorDomain::kDeadline: return "deadline";
+    case ErrorDomain::kIntegrity: return "integrity";
   }
   return "unknown";
 }

@@ -30,6 +30,7 @@ enum class ErrorDomain : std::uint8_t {
   kProtocol,     // malformed or oversized frames
   kEngine,       // async-engine lifecycle (queue closed, shut down)
   kDeadline,     // a supervised operation exhausted its op deadline
+  kIntegrity,    // checksum mismatch: data corrupted in flight or at rest
 };
 
 const char* domain_name(ErrorDomain d);

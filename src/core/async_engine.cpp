@@ -701,6 +701,8 @@ void AsyncEngine::handle_failure(Item* item, std::exception_ptr err) {
   if (stats_ != nullptr) {
     stats_->add_backoff(delay);
     stats_->add_replayed_op();
+    if (st.domain() == remio::ErrorDomain::kIntegrity)
+      stats_->add_integrity_retry();
   }
   const double now = simnet::sim_now();
   if (tracer_ != nullptr) {

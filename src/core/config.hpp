@@ -105,6 +105,20 @@ struct Config {
   };
   Sieve sieve;
 
+  /// End-to-end data integrity (src/common/checksum). Detection is
+  /// default-ON — each knob only turns checking off; recovery from a
+  /// detected mismatch is governed by `retry` like any transient failure.
+  struct Integrity {
+    /// Request per-frame CRC32C on every SRB stream at connect. The client
+    /// silently downgrades against an old broker, so leaving this on is
+    /// always interop-safe.
+    bool wire_checksums = true;
+    /// Per-block CRC32C on cached file data, verified before eviction and
+    /// on demand (verify_resident); adds no work to the hit path.
+    bool cache_verify = true;
+  };
+  Integrity integrity;
+
   /// Per-connection transport tuning (TCP window, shared-resource charges
   /// such as the node I/O bus).
   simnet::ConnectOptions conn;

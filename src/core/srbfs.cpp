@@ -40,11 +40,12 @@ SemplarFile::SemplarFile(simnet::Fabric& fabric, const Config& cfg,
     opts.block_bytes = cfg_.cache_block_bytes;
     opts.readahead_blocks = cfg_.readahead_blocks;
     opts.writeback_hwm = cfg_.writeback_hwm;
+    opts.verify = cfg_.integrity.cache_verify;
     cache_ = std::make_unique<cache::BlockCache>(
         *static_cast<cache::CacheBackend*>(this), opts, &stats_.cache(),
         tracer_.get());
     // Coherence baseline: whoever flushed last before this open.
-    last_gen_ = srb::read_generation(streams_->client(0), streams_->path());
+    last_gen_ = streams_->read_generation();
   }
   if (tracer_ != nullptr && cfg_.obs.report_interval > 0.0) {
     reporter_ = std::make_unique<obs::TextReporter>(*tracer_, std::clog);
@@ -94,8 +95,7 @@ bool SemplarFile::cache_run_async(std::function<void()> fn) {
 // --- coherence -------------------------------------------------------------
 
 void SemplarFile::check_generation() {
-  const srb::Generation now =
-      srb::read_generation(streams_->client(0), streams_->path());
+  const srb::Generation now = streams_->read_generation();
   if (now != last_gen_) {
     if (now.writer != writer_tag_) cache_->invalidate();
     last_gen_ = now;
@@ -104,8 +104,7 @@ void SemplarFile::check_generation() {
 
 void SemplarFile::publish_generation() {
   if (!cache_->take_wrote()) return;
-  last_gen_ =
-      srb::bump_generation(streams_->client(0), streams_->path(), writer_tag_);
+  last_gen_ = streams_->bump_generation(writer_tag_);
 }
 
 // --- file verbs ------------------------------------------------------------

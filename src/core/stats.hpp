@@ -38,6 +38,10 @@ struct StatsSnapshot {
   std::uint64_t deadline_expirations = 0; // supervised ops that ran out of time
   double backoff_sim_seconds = 0.0;       // total simulated backoff slept
 
+  // End-to-end integrity (zero on a clean run).
+  std::uint64_t corruptions_detected = 0; // kIntegrity failures observed
+  std::uint64_t integrity_retries = 0;    // replays caused by those failures
+
   // Block cache (all zero when the cache is disabled).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
@@ -45,6 +49,8 @@ struct StatsSnapshot {
   std::uint64_t prefetch_useful = 0;  // prefetched blocks later demanded
   std::uint64_t writeback_coalesced = 0;  // small writes merged into a run
   std::uint64_t writeback_flushes = 0;    // coalesced wire writes issued
+  std::uint64_t cache_integrity_verified = 0;  // resident-block CRC checks
+  std::uint64_t cache_integrity_failures = 0;  // checks that found rot
 };
 
 class Stats {
@@ -73,6 +79,8 @@ class Stats {
   void add_backoff(double sim_seconds) {
     backoff_sim_.fetch_add(sim_seconds, std::memory_order_relaxed);
   }
+  void add_corruption_detected() { ++corruptions_detected_; }
+  void add_integrity_retry() { ++integrity_retries_; }
 
   /// The block cache writes its counters here directly.
   cache::CacheCounters& cache() { return cache_; }
@@ -96,6 +104,9 @@ class Stats {
     s.deadline_expirations =
         deadline_expirations_.load(std::memory_order_relaxed);
     s.backoff_sim_seconds = backoff_sim_.load(std::memory_order_relaxed);
+    s.corruptions_detected =
+        corruptions_detected_.load(std::memory_order_relaxed);
+    s.integrity_retries = integrity_retries_.load(std::memory_order_relaxed);
     s.cache_hits = cache_.hits.load(std::memory_order_relaxed);
     s.cache_misses = cache_.misses.load(std::memory_order_relaxed);
     s.prefetch_issued = cache_.prefetch_issued.load(std::memory_order_relaxed);
@@ -104,6 +115,10 @@ class Stats {
         cache_.writeback_coalesced.load(std::memory_order_relaxed);
     s.writeback_flushes =
         cache_.writeback_flushes.load(std::memory_order_relaxed);
+    s.cache_integrity_verified =
+        cache_.integrity_verified.load(std::memory_order_relaxed);
+    s.cache_integrity_failures =
+        cache_.integrity_failures.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -122,6 +137,8 @@ class Stats {
   std::atomic<std::uint64_t> replayed_ops_{0};
   std::atomic<std::uint64_t> deadline_expirations_{0};
   std::atomic<double> backoff_sim_{0.0};
+  std::atomic<std::uint64_t> corruptions_detected_{0};
+  std::atomic<std::uint64_t> integrity_retries_{0};
   cache::CacheCounters cache_;
 };
 

@@ -25,7 +25,7 @@ StreamPool::StreamPool(simnet::Fabric& fabric, const Config& cfg,
     auto s = std::make_unique<Stream>();
     s->client = std::make_shared<srb::SrbClient>(
         fabric, cfg.client_host, cfg.server_host, cfg.server_port, cfg.conn,
-        stream_tag(i), cfg.tenant);
+        stream_tag(i), cfg.tenant, cfg.integrity.wire_checksums);
     // Only the first stream may create or truncate; the others must see the
     // object the first one produced.
     std::uint32_t flags = srb_flags;
@@ -83,7 +83,7 @@ void StreamPool::repair_locked(Stream& s, int idx) {
   // reconnect can never clobber data the first open produced.
   auto fresh = std::make_shared<srb::SrbClient>(
       fabric_, cfg_.client_host, cfg_.server_host, cfg_.server_port, cfg_.conn,
-      stream_tag(idx), cfg_.tenant);
+      stream_tag(idx), cfg_.tenant, cfg_.integrity.wire_checksums);
   const std::int32_t fd = fresh->open(path_, reopen_flags_);
   if (s.client != nullptr) {
     // Keep lifetime wire totals monotone across the client swap.
@@ -113,9 +113,20 @@ template <class Fn>
 auto StreamPool::once(int requested, Fn&& fn) {
   if (!cfg_.retry.enabled()) {
     // Fail-fast (paper) mode: exactly one attempt on the requested stream,
-    // no health tracking, no re-routing.
+    // no health tracking, no re-routing. Integrity detections are still
+    // counted — observability must not depend on the retry policy.
     Stream& s = *streams_[static_cast<std::size_t>(requested)];
-    return fn(*s.client, s.fd, requested);
+    try {
+      return fn(*s.client, s.fd, requested);
+    } catch (const remio::StatusError& e) {
+      if (e.domain() == remio::ErrorDomain::kIntegrity) {
+        if (stats_ != nullptr) stats_->add_corruption_detected();
+        if (tracer_ != nullptr)
+          tracer_->note_instant(obs::SpanKind::kIntegrity, 0,
+                                static_cast<std::int16_t>(requested));
+      }
+      throw;
+    }
   }
   // Bounded walk: each iteration either runs the op once or retires a
   // stream to kDead; with N streams we re-resolve at most N times.
@@ -152,6 +163,15 @@ auto StreamPool::once(int requested, Fn&& fn) {
     } catch (const remio::StatusError& e) {
       if (e.retryable() && e.domain() == remio::ErrorDomain::kTransport)
         note_failure(idx, client);
+      // A checksum mismatch is NOT a stream failure: the connection held,
+      // only the data arrived (or was stored) wrong. Count the detection
+      // and leave the stream up — the supervised() replay re-fetches on it.
+      if (e.domain() == remio::ErrorDomain::kIntegrity) {
+        if (stats_ != nullptr) stats_->add_corruption_detected();
+        if (tracer_ != nullptr)
+          tracer_->note_instant(obs::SpanKind::kIntegrity, 0,
+                                static_cast<std::int16_t>(idx));
+      }
       throw;
     }
   }
@@ -188,6 +208,8 @@ auto StreamPool::supervised(Fn&& fn) {
       if (stats_ != nullptr) {
         stats_->add_backoff(delay);
         stats_->add_replayed_op();
+        if (st.domain() == remio::ErrorDomain::kIntegrity)
+          stats_->add_integrity_retry();
       }
       simnet::sleep_sim(delay);
     }
@@ -403,6 +425,22 @@ std::size_t StreamPool::pwritev_once(int stream, const ExtentList& extents,
     i = j;
   }
   return total;
+}
+
+srb::Generation StreamPool::read_generation() {
+  return supervised([&] {
+    return once(0, [&](srb::SrbClient& c, std::int32_t, int) {
+      return srb::read_generation(c, path_);
+    });
+  });
+}
+
+srb::Generation StreamPool::bump_generation(const std::string& writer_tag) {
+  return supervised([&] {
+    return once(0, [&](srb::SrbClient& c, std::int32_t, int) {
+      return srb::bump_generation(c, path_, writer_tag);
+    });
+  });
 }
 
 srb::SrbClient& StreamPool::client(int stream) {

@@ -35,6 +35,7 @@
 #include "core/supervisor.hpp"
 #include "obs/tracer.hpp"
 #include "srb/client.hpp"
+#include "srb/generation.hpp"
 
 namespace remio::semplar {
 
@@ -78,9 +79,16 @@ class StreamPool {
   std::size_t preadv_once(int stream, const ExtentList& extents, MutByteSpan out);
   std::size_t pwritev_once(int stream, const ExtentList& extents, ByteSpan data);
 
-  /// Current client of a stream, for catalog-style side channels
-  /// (generation attributes). Not supervised; callers run in quiescent
-  /// phases (open / flush), not concurrently with stream repair.
+  /// Coherence-generation side channel, supervised like any other op: a
+  /// corrupted or dropped attribute round trip is retried (when retries are
+  /// on) instead of surfacing from open()/flush(). Bumps are idempotent in
+  /// effect — the counter only needs to move, not move by exactly one.
+  srb::Generation read_generation();
+  srb::Generation bump_generation(const std::string& writer_tag);
+
+  /// Current client of a stream, for catalog-style side channels. Not
+  /// supervised; callers run in quiescent phases (open / flush), not
+  /// concurrently with stream repair.
   srb::SrbClient& client(int stream);
   const std::string& path() const { return path_; }
 

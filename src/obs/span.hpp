@@ -32,6 +32,7 @@ enum class SpanKind : std::uint8_t {
   kIoWait,      // app blocked in its I/O phase (testbed PhaseTimer)
   kSieve,       // data-sieving transfer: hull fetch + scatter/gather
   kListIo,      // list-I/O transfer: batched extents in one message
+  kIntegrity,   // detected corruption (wire frame or at-rest block)
   kCount
 };
 
@@ -80,6 +81,7 @@ inline const char* kind_name(SpanKind k) {
     case SpanKind::kIoWait: return "io-wait";
     case SpanKind::kSieve: return "sieve";
     case SpanKind::kListIo: return "list-io";
+    case SpanKind::kIntegrity: return "integrity";
     case SpanKind::kCount: break;
   }
   return "?";

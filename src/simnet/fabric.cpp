@@ -102,7 +102,13 @@ std::unique_ptr<Socket> Fabric::connect(const std::string& from_host,
   sleep_sim(rtt);
 
   auto [client, server] = Socket::make_pair(shaping, from_host, to_host);
-  if (fault != nullptr) client->set_fault(fault, tag);
+  if (fault != nullptr) {
+    client->set_fault(fault, tag);
+    // The server end is corrupt-only: responses can arrive flipped (same
+    // tag, so targeted corruption covers both directions), but drops,
+    // kills and spikes keep their established client-send semantics.
+    server->set_fault(fault, tag, /*corrupt_only=*/true);
+  }
   if (!acceptor->pending_.push(std::move(server)))
     throw NetError("connection refused (listener closed): " + to_host);
   return std::move(client);

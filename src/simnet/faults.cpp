@@ -26,6 +26,30 @@ void FaultInjector::set_latency_spike(double p, double sim_seconds) {
   spike_s_ = sim_seconds;
 }
 
+void FaultInjector::set_corrupt_probability(double p,
+                                            const std::string& tag_substr) {
+  std::lock_guard lk(mu_);
+  corrupt_p_ = p;
+  corrupt_tag_ = tag_substr;
+}
+
+void FaultInjector::set_rot_hook(
+    std::function<void(std::uint64_t, std::uint64_t)> hook) {
+  std::lock_guard lk(mu_);
+  rot_hook_ = std::move(hook);
+}
+
+void FaultInjector::rot(std::uint64_t object_id, std::uint64_t offset) {
+  std::function<void(std::uint64_t, std::uint64_t)> hook;
+  {
+    std::lock_guard lk(mu_);
+    hook = rot_hook_;
+    if (hook) ++rots_;
+  }
+  // Invoke outside the lock: the hook takes store-side mutexes.
+  if (hook) hook(object_id, offset);
+}
+
 void FaultInjector::arm_kill(const std::string& tag_substr) {
   std::lock_guard lk(mu_);
   armed_kill_ = tag_substr;
@@ -61,6 +85,16 @@ std::uint64_t FaultInjector::latency_spikes() const {
   return spikes_;
 }
 
+std::uint64_t FaultInjector::corruptions() const {
+  std::lock_guard lk(mu_);
+  return corruptions_;
+}
+
+std::uint64_t FaultInjector::rots() const {
+  std::lock_guard lk(mu_);
+  return rots_;
+}
+
 bool FaultInjector::fail_connect(const std::string& tag) {
   std::lock_guard lk(mu_);
   for (const auto& b : bans_) {
@@ -88,6 +122,17 @@ bool FaultInjector::drop_send(const std::string& tag) {
     return true;
   }
   return false;
+}
+
+bool FaultInjector::corrupt_send(const std::string& tag, std::uint64_t nbits,
+                                 std::uint64_t& bit) {
+  std::lock_guard lk(mu_);
+  if (corrupt_p_ <= 0 || nbits == 0 || !tag_matches(tag, corrupt_tag_))
+    return false;
+  if (!rng_.chance(corrupt_p_)) return false;
+  bit = rng_.next() % nbits;
+  ++corruptions_;
+  return true;
 }
 
 double FaultInjector::latency_penalty() {

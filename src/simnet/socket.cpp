@@ -78,22 +78,40 @@ std::size_t Pipe::buffered() const {
 
 Socket::~Socket() { close(); }
 
-void Socket::set_fault(std::shared_ptr<FaultInjector> fault, std::string tag) {
+void Socket::set_fault(std::shared_ptr<FaultInjector> fault, std::string tag,
+                       bool corrupt_only) {
   fault_ = std::move(fault);
   tag_ = std::move(tag);
+  fault_corrupt_only_ = corrupt_only;
 }
 
 void Socket::send_all(ByteSpan data) {
   if (closed_.load(std::memory_order_acquire))
     throw NetError("send on closed socket");
+  Bytes mangled;  // only materialized when a corruption fires
   if (fault_ != nullptr) {
-    const double spike = fault_->latency_penalty();
-    if (spike > 0) sleep_sim(spike);
-    if (fault_->drop_send(tag_)) {
-      close();
-      throw NetError("injected connection drop (" + tag_ + ")",
-                     {remio::ErrorDomain::kTransport, 0, /*retryable=*/true,
-                      "send"});
+    if (!fault_corrupt_only_) {
+      const double spike = fault_->latency_penalty();
+      if (spike > 0) sleep_sim(spike);
+      if (fault_->drop_send(tag_)) {
+        close();
+        throw NetError("injected connection drop (" + tag_ + ")",
+                       {remio::ErrorDomain::kTransport, 0, /*retryable=*/true,
+                        "send"});
+      }
+    }
+    // In-flight corruption: flip one bit anywhere past the first 4 bytes.
+    // A protocol send is one frame whose length prefix occupies exactly
+    // those bytes, so (like real corruption slipping past TCP's 16-bit
+    // checksum while the kernel preserves segmentation) the framing stays
+    // in phase and only the content arrives wrong.
+    std::uint64_t bit = 0;
+    if (data.size() > 4 &&
+        fault_->corrupt_send(tag_, (data.size() - 4) * 8, bit)) {
+      mangled.assign(data.begin(), data.end());
+      mangled[4 + static_cast<std::size_t>(bit / 8)] ^=
+          static_cast<char>(1u << (bit % 8));
+      data = ByteSpan(mangled.data(), mangled.size());
     }
   }
   std::size_t off = 0;

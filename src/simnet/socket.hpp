@@ -110,9 +110,13 @@ class Socket {
   void close();
 
   /// Wires a fault-injection plan into this end of the connection (set by
-  /// Fabric::connect on client sockets when an injector is installed). The
-  /// `tag` identifies the connection for targeted kills/bans.
-  void set_fault(std::shared_ptr<FaultInjector> fault, std::string tag);
+  /// Fabric::connect when an injector is installed). The `tag` identifies
+  /// the connection for targeted kills/bans. With `corrupt_only`, this end
+  /// is only subject to bit flips — drops, kills and latency spikes stay
+  /// client-side so the established failure semantics don't change; set on
+  /// the server socket so *responses* can arrive corrupted too.
+  void set_fault(std::shared_ptr<FaultInjector> fault, std::string tag,
+                 bool corrupt_only = false);
   const std::string& fault_tag() const { return tag_; }
 
   std::uint64_t bytes_sent() const {
@@ -146,6 +150,7 @@ class Socket {
   std::string peer_;
   std::shared_ptr<FaultInjector> fault_;
   std::string tag_;
+  bool fault_corrupt_only_ = false;
   std::atomic<bool> closed_{false};
 };
 

@@ -14,12 +14,32 @@ simnet::ConnectOptions with_tag(simnet::ConnectOptions opts,
   return opts;
 }
 
+/// Classifies a non-OK broker status into the shared error taxonomy. Most
+/// are semantic (the broker answered; replaying changes nothing), but the
+/// integrity statuses carry their own domain: a checksum mismatch is
+/// retryable — the op is idempotent and a re-send/re-read usually comes
+/// back clean — while a quarantined object stays failed until repaired.
+SrbError status_error(Status st, const std::string& what) {
+  if (st == Status::kChecksumMismatch)
+    return SrbError(st,
+                    {remio::ErrorDomain::kIntegrity,
+                     static_cast<std::int32_t>(st), /*retryable=*/true, "rpc"},
+                    what);
+  if (st == Status::kQuarantined)
+    return SrbError(st,
+                    {remio::ErrorDomain::kIntegrity,
+                     static_cast<std::int32_t>(st), /*retryable=*/false, "rpc"},
+                    what);
+  return SrbError(st, what);
+}
+
 }  // namespace
 
 SrbClient::SrbClient(simnet::Fabric& fabric, const std::string& from_host,
                      const std::string& server_host, int port,
                      const simnet::ConnectOptions& opts,
-                     const std::string& client_name, const std::string& tenant)
+                     const std::string& client_name, const std::string& tenant,
+                     bool wire_checksums)
     : sock_(fabric.connect(from_host, server_host, port,
                            with_tag(opts, client_name))) {
   connected_ = true;
@@ -27,9 +47,15 @@ SrbClient::SrbClient(simnet::Fabric& fabric, const std::string& from_host,
   ByteWriter w(payload);
   w.str(client_name);
   w.str(tenant);  // optional trailing field; old servers never read it
+  // Feature negotiation: appended ONLY when a feature is wanted, so a
+  // checksums-off client stays bit-identical to a pre-integrity client.
+  if (wire_checksums) w.u32(kFeatureWireChecksums);
   const Bytes resp = rpc_ok(Op::kConnect, payload, "connect");
   ByteReader r(ByteSpan(resp.data(), resp.size()));
   banner_ = r.str();
+  // An old server never echoes flags; its silence downgrades the session.
+  if (wire_checksums && r.remaining() >= 4)
+    crc_ = (r.u32() & kFeatureWireChecksums) != 0;
 }
 
 SrbClient::~SrbClient() {
@@ -50,8 +76,11 @@ Status SrbClient::rpc(Op op, const Bytes& payload, Bytes& response) {
                     /*retryable=*/false, "rpc"},
                    "client disconnected");
   rpc_count_.fetch_add(1, std::memory_order_relaxed);
-  send_frame(*sock_, static_cast<std::uint8_t>(op),
-             ByteSpan(payload.data(), payload.size()));
+  const ByteSpan body(payload.data(), payload.size());
+  if (crc_)
+    send_frame_crc(*sock_, static_cast<std::uint8_t>(op), body);
+  else
+    send_frame(*sock_, static_cast<std::uint8_t>(op), body);
   Bytes frame;
   if (!recv_frame(*sock_, frame))
     // Mid-stream EOF: the broker died or restarted. Transient — a
@@ -61,6 +90,17 @@ Status SrbClient::rpc(Op op, const Bytes& payload, Bytes& response) {
                     static_cast<std::int32_t>(Status::kIoError),
                     /*retryable=*/true, "rpc"},
                    "server closed connection");
+  if (crc_ && !strip_frame_crc(frame)) {
+    // The response arrived corrupted. The framing held (the length prefix
+    // is uncovered by design), so the stream is still in phase: the next
+    // rpc() simply re-issues the idempotent op. Retryable integrity error.
+    crc_failures_.fetch_add(1, std::memory_order_relaxed);
+    throw SrbError(Status::kChecksumMismatch,
+                   {remio::ErrorDomain::kIntegrity,
+                    static_cast<std::int32_t>(Status::kChecksumMismatch),
+                    /*retryable=*/true, "rpc"},
+                   "response frame checksum mismatch");
+  }
   ByteReader r(ByteSpan(frame.data(), frame.size()));
   const auto status = static_cast<Status>(r.i32());
   if (!r.ok())
@@ -78,7 +118,7 @@ Bytes SrbClient::rpc_ok(Op op, const Bytes& payload, const char* what) {
   Bytes response;
   const Status st = rpc(op, payload, response);
   if (st != Status::kOk)
-    throw SrbError(st, std::string(what) + ": " + status_name(st));
+    throw status_error(st, std::string(what) + ": " + status_name(st));
   return response;
 }
 
@@ -249,7 +289,8 @@ std::optional<ObjStat> SrbClient::stat(const std::string& path) {
   Bytes resp;
   const Status st = rpc(Op::kObjStat, payload, resp);
   if (st == Status::kNotFound) return std::nullopt;
-  if (st != Status::kOk) throw SrbError(st, std::string("stat: ") + status_name(st));
+  if (st != Status::kOk)
+    throw status_error(st, std::string("stat: ") + status_name(st));
   ByteReader r(ByteSpan(resp.data(), resp.size()));
   ObjStat out;
   out.size = r.u64();
@@ -305,9 +346,21 @@ std::optional<std::string> SrbClient::get_attr(const std::string& path,
   const Status st = rpc(Op::kGetAttr, payload, resp);
   if (st == Status::kNotFound) return std::nullopt;
   if (st != Status::kOk)
-    throw SrbError(st, std::string("get_attr: ") + status_name(st));
+    throw status_error(st, std::string("get_attr: ") + status_name(st));
   ByteReader r(ByteSpan(resp.data(), resp.size()));
   return r.str();
+}
+
+SrbClient::ScrubResult SrbClient::scrub() {
+  const Bytes resp = rpc_ok(Op::kAdminScrub, {}, "scrub");
+  ByteReader r(ByteSpan(resp.data(), resp.size()));
+  ScrubResult out;
+  out.objects = r.u64();
+  out.blocks = r.u64();
+  out.mismatched = r.u64();
+  out.quarantined = r.u64();
+  out.healed = r.u64();
+  return out;
 }
 
 void SrbClient::disconnect() {

@@ -57,11 +57,15 @@ class SrbClient {
   /// logs in under that tenant identity: when the broker runs in
   /// multi-tenant mode the session is confined to /tenants/<tenant> and
   /// subject to its quotas; a single-tenant broker ignores it.
+  /// `wire_checksums` requests per-frame CRC32C protection at connect;
+  /// the session uses it only when the server acks the feature, so a new
+  /// client against an old broker degrades to the unchecked protocol (and
+  /// with it false, the client is wire-identical to a pre-integrity one).
   SrbClient(simnet::Fabric& fabric, const std::string& from_host,
             const std::string& server_host, int port,
             const simnet::ConnectOptions& opts = {},
             const std::string& client_name = "remio-client",
-            const std::string& tenant = "");
+            const std::string& tenant = "", bool wire_checksums = true);
   ~SrbClient();
 
   SrbClient(const SrbClient&) = delete;
@@ -98,6 +102,18 @@ class SrbClient {
   std::optional<std::string> get_attr(const std::string& path,
                                       const std::string& key);
 
+  /// Admin: broker-wide at-rest checksum scrub (kAdminScrub). Quarantines
+  /// objects with mismatched blocks, heals rewritten ones; see
+  /// ObjectStore::scrub.
+  struct ScrubResult {
+    std::uint64_t objects = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t mismatched = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t healed = 0;
+  };
+  ScrubResult scrub();
+
   /// Orderly disconnect; further calls fail. Idempotent.
   void disconnect();
 
@@ -109,6 +125,13 @@ class SrbClient {
   /// really carried N extents.
   std::uint64_t rpc_count() const {
     return rpc_count_.load(std::memory_order_relaxed);
+  }
+  /// True when the connect handshake negotiated per-frame CRC32C.
+  bool wire_checksums() const { return crc_; }
+  /// Corrupted response frames this client detected itself (each one also
+  /// surfaced as a retryable kIntegrity error).
+  std::uint64_t crc_failures() const {
+    return crc_failures_.load(std::memory_order_relaxed);
   }
 
   /// Writes larger than this are split into multiple protocol messages.
@@ -124,7 +147,9 @@ class SrbClient {
   std::mutex mu_;  // serializes request/response pairs on the stream
   std::string banner_;
   std::atomic<std::uint64_t> rpc_count_{0};
+  std::atomic<std::uint64_t> crc_failures_{0};
   bool connected_ = false;
+  bool crc_ = false;  // negotiated at connect; frames after it are covered
 };
 
 }  // namespace remio::srb

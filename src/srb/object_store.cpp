@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/checksum.hpp"
+
 namespace remio::srb {
 
 ObjectStore::ObjectStore(const StoreConfig& cfg)
-    : disk_read_(cfg.disk_read_rate, 0.0, "disk-read"),
-      disk_write_(cfg.disk_write_rate, 0.0, "disk-write") {}
+    : cfg_(cfg),
+      disk_read_(cfg.disk_read_rate, 0.0, "disk-read"),
+      disk_write_(cfg.disk_write_rate, 0.0, "disk-write") {
+  if (cfg_.checksum_block == 0) cfg_.checksum_block = 64u * 1024;
+}
 
 void ObjectStore::create(ObjectId id) {
   std::lock_guard lk(mu_);
@@ -39,13 +44,62 @@ std::shared_ptr<ObjectStore::Object> ObjectStore::find(ObjectId id) const {
   return it->second;
 }
 
-std::size_t ObjectStore::pread(ObjectId id, MutByteSpan out, std::uint64_t offset) {
+void ObjectStore::rehash_range(Object& obj, std::uint64_t begin,
+                               std::uint64_t end) const {
+  if (!cfg_.checksums) return;
+  const std::uint64_t bs = cfg_.checksum_block;
+  const std::uint64_t size = obj.data.size();
+  obj.sums.resize(static_cast<std::size_t>((size + bs - 1) / bs));
+  if (size == 0 || begin >= end) return;
+  const std::uint64_t first = begin / bs;
+  const std::uint64_t last = (std::min(end, size) - 1) / bs;
+  for (std::uint64_t b = first; b <= last && b * bs < size; ++b) {
+    const std::uint64_t lo = b * bs;
+    const std::uint64_t hi = std::min(lo + bs, size);
+    obj.sums[static_cast<std::size_t>(b)] = crc32c(
+        ByteSpan(obj.data.data() + lo, static_cast<std::size_t>(hi - lo)));
+  }
+}
+
+std::int64_t ObjectStore::verify_range(const Object& obj, std::uint64_t begin,
+                                       std::uint64_t end) const {
+  if (!cfg_.checksums) return -1;
+  const std::uint64_t bs = cfg_.checksum_block;
+  const std::uint64_t size = obj.data.size();
+  if (size == 0 || begin >= end || begin >= size) return -1;
+  const std::uint64_t first = begin / bs;
+  const std::uint64_t last = (std::min(end, size) - 1) / bs;
+  for (std::uint64_t b = first; b <= last && b * bs < size; ++b) {
+    const std::uint64_t lo = b * bs;
+    const std::uint64_t hi = std::min(lo + bs, size);
+    const std::uint32_t want =
+        b < obj.sums.size() ? obj.sums[static_cast<std::size_t>(b)] : 0;
+    if (crc32c(ByteSpan(obj.data.data() + lo,
+                        static_cast<std::size_t>(hi - lo))) != want)
+      return static_cast<std::int64_t>(b);
+  }
+  return -1;
+}
+
+std::size_t ObjectStore::pread(ObjectId id, MutByteSpan out,
+                               std::uint64_t offset) {
   auto obj = find(id);
   std::size_t n = 0;
   {
     std::lock_guard lk(obj->mu);
+    if (obj->quarantined)
+      throw IntegrityError(id, "object " + std::to_string(id) +
+                                   " is quarantined pending repair",
+                           /*quarantined=*/true);
     if (offset < obj->data.size()) {
       n = std::min<std::size_t>(out.size(), obj->data.size() - offset);
+      const std::int64_t bad = verify_range(*obj, offset, offset + n);
+      if (bad >= 0)
+        throw IntegrityError(
+            id,
+            "at-rest checksum mismatch in object " + std::to_string(id) +
+                " block " + std::to_string(bad),
+            /*quarantined=*/false);
       std::copy_n(obj->data.data() + offset, n, out.data());
     }
   }
@@ -60,11 +114,16 @@ std::uint64_t ObjectStore::pwrite(ObjectId id, ByteSpan data,
   {
     std::lock_guard lk(obj->mu);
     const std::uint64_t end = offset + data.size();
+    // The zero-extension gap [old size, offset) gets fresh bytes too, so
+    // its blocks need new sums along with the written range.
+    const std::uint64_t touch_begin =
+        std::min<std::uint64_t>(offset, obj->data.size());
     if (obj->data.size() < end) {
       growth = end - obj->data.size();
       obj->data.resize(end, '\0');
     }
     std::copy_n(data.data(), data.size(), obj->data.data() + offset);
+    rehash_range(*obj, touch_begin, end);
   }
   disk_write_.acquire(data.size());
   return growth;
@@ -73,9 +132,13 @@ std::uint64_t ObjectStore::pwrite(ObjectId id, ByteSpan data,
 std::int64_t ObjectStore::truncate(ObjectId id, std::uint64_t size) {
   auto obj = find(id);
   std::lock_guard lk(obj->mu);
+  const std::uint64_t old = obj->data.size();
   const std::int64_t delta =
-      static_cast<std::int64_t>(size) - static_cast<std::int64_t>(obj->data.size());
+      static_cast<std::int64_t>(size) - static_cast<std::int64_t>(old);
   obj->data.resize(size, '\0');
+  // Shrink: the (new) last block changed shape. Grow: the zero tail is new.
+  rehash_range(*obj, std::min(old, size) > 0 ? std::min(old, size) - 1 : 0,
+               size);
   return delta;
 }
 
@@ -93,6 +156,65 @@ std::uint64_t ObjectStore::total_bytes() const {
     total += obj->data.size();
   }
   return total;
+}
+
+bool ObjectStore::corrupt(ObjectId id, std::uint64_t offset) {
+  std::shared_ptr<Object> obj;
+  try {
+    obj = find(id);
+  } catch (const std::out_of_range&) {
+    return false;
+  }
+  std::lock_guard lk(obj->mu);
+  if (offset >= obj->data.size()) return false;
+  obj->data[static_cast<std::size_t>(offset)] ^= 0x01;
+  return true;
+}
+
+ScrubReport ObjectStore::scrub() {
+  ScrubReport rep;
+  if (!cfg_.checksums) return rep;
+  // Snapshot the object set, then verify per object under its own mutex so
+  // live sessions keep making progress on untouched objects.
+  std::vector<std::shared_ptr<Object>> snapshot;
+  {
+    std::lock_guard lk(mu_);
+    snapshot.reserve(objects_.size());
+    for (const auto& [id, obj] : objects_) snapshot.push_back(obj);
+  }
+  for (const auto& obj : snapshot) {
+    std::lock_guard lk(obj->mu);
+    ++rep.objects;
+    const std::uint64_t bs = cfg_.checksum_block;
+    rep.blocks += (obj->data.size() + bs - 1) / bs;
+    const bool bad = verify_range(*obj, 0, obj->data.size()) >= 0;
+    if (bad) {
+      // Count every bad block for the report, not just the first.
+      for (std::uint64_t b = 0; b * bs < obj->data.size(); ++b) {
+        const std::uint64_t lo = b * bs;
+        const std::uint64_t hi = std::min<std::uint64_t>(lo + bs, obj->data.size());
+        const std::uint32_t want =
+            b < obj->sums.size() ? obj->sums[static_cast<std::size_t>(b)] : 0;
+        if (crc32c(ByteSpan(obj->data.data() + lo,
+                            static_cast<std::size_t>(hi - lo))) != want)
+          ++rep.mismatched;
+      }
+      if (!obj->quarantined) {
+        obj->quarantined = true;
+        ++rep.quarantined;
+      }
+    } else if (obj->quarantined) {
+      obj->quarantined = false;
+      ++rep.healed;
+    }
+  }
+  return rep;
+}
+
+bool ObjectStore::is_quarantined(ObjectId id) const {
+  auto obj = find(id);
+  std::lock_guard lk(obj->mu);
+  return obj->quarantined;
 }
 
 }  // namespace remio::srb

@@ -2,13 +2,24 @@
 // with token-bucket shaped "disk" service rates. Reads are served faster
 // than writes (cache vs. commit), which is what skews the paper's Fig. 8
 // read gains above the write gains.
+//
+// At-rest integrity: every object carries one CRC32C per checksum_block
+// bytes, recomputed on the blocks a pwrite/truncate touches and verified on
+// the blocks a pread covers. A mismatch throws IntegrityError (the server
+// maps it to kChecksumMismatch, keeping the session); scrub() walks every
+// block, quarantines objects that fail, and heals quarantined objects that
+// verify clean again (after being rewritten). Reads of a quarantined
+// object throw the quarantined flavour (wire status kQuarantined,
+// non-retryable); writes stay allowed — they are the repair path.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "common/bytes.hpp"
+#include "common/error.hpp"
 #include "simnet/token_bucket.hpp"
 #include "srb/mcat.hpp"
 
@@ -18,6 +29,37 @@ struct StoreConfig {
   /// Bytes per simulated second; 0 = unshaped.
   double disk_read_rate = 0.0;
   double disk_write_rate = 0.0;
+  /// Per-block CRC32C on stored payloads, verified on every read. Default
+  /// ON — detection is always-on; only recovery policy is configurable.
+  bool checksums = true;
+  /// Checksum granularity. Smaller = finer mismatch localization, more
+  /// sums; 64 KB keeps the per-object overhead at 1/16384 of the payload.
+  std::size_t checksum_block = 64u * 1024;
+};
+
+/// A stored block no longer matches its CRC (or the object is quarantined).
+class IntegrityError : public remio::StatusError {
+ public:
+  IntegrityError(ObjectId id, const std::string& what, bool quarantined)
+      : StatusError({remio::ErrorDomain::kIntegrity, 0,
+                     /*retryable=*/!quarantined, "pread"},
+                    what),
+        object_(id),
+        quarantined_(quarantined) {}
+  ObjectId object() const { return object_; }
+  bool quarantined() const { return quarantined_; }
+
+ private:
+  ObjectId object_;
+  bool quarantined_;
+};
+
+struct ScrubReport {
+  std::uint64_t objects = 0;      // objects walked
+  std::uint64_t blocks = 0;       // blocks verified
+  std::uint64_t mismatched = 0;   // blocks whose CRC failed
+  std::uint64_t quarantined = 0;  // objects newly quarantined this pass
+  std::uint64_t healed = 0;       // previously-quarantined objects now clean
 };
 
 class ObjectStore {
@@ -32,7 +74,9 @@ class ObjectStore {
   bool exists(ObjectId id) const;
 
   /// pread semantics: reads up to out.size() bytes at `offset`; returns the
-  /// count actually read (short at EOF, 0 past EOF).
+  /// count actually read (short at EOF, 0 past EOF). Verifies the CRC of
+  /// every block the read covers first; throws IntegrityError on mismatch
+  /// or when the object is quarantined.
   std::size_t pread(ObjectId id, MutByteSpan out, std::uint64_t offset);
 
   /// pwrite semantics: writes all of `data` at `offset`, zero-extending any
@@ -47,14 +91,39 @@ class ObjectStore {
 
   std::uint64_t total_bytes() const;
 
+  // --- integrity ------------------------------------------------------------
+  /// Bit-rot injection: flips one bit of the stored byte at `offset`
+  /// WITHOUT updating the block CRC (the whole point). Returns false when
+  /// the object is absent or the offset past EOF. Test/chaos hook; wired to
+  /// simnet::FaultInjector::rot by the harness.
+  bool corrupt(ObjectId id, std::uint64_t offset);
+
+  /// Verifies every block of every object. Objects with a mismatch are
+  /// quarantined; quarantined objects that verify clean again (their bad
+  /// range was rewritten) are healed. No-op report when checksums are off.
+  ScrubReport scrub();
+
+  bool is_quarantined(ObjectId id) const;
+
  private:
   struct Object {
     mutable std::mutex mu;
     Bytes data;
+    /// CRC32C per checksum_block chunk of `data` (empty when disabled).
+    std::vector<std::uint32_t> sums;
+    bool quarantined = false;
   };
 
   std::shared_ptr<Object> find(ObjectId id) const;
+  /// Recomputes sums for the blocks covering [begin, end); caller holds
+  /// the object mutex.
+  void rehash_range(Object& obj, std::uint64_t begin, std::uint64_t end) const;
+  /// Verifies the blocks covering [begin, end); returns the index of the
+  /// first bad block or -1. Caller holds the object mutex.
+  std::int64_t verify_range(const Object& obj, std::uint64_t begin,
+                            std::uint64_t end) const;
 
+  StoreConfig cfg_;
   mutable std::mutex mu_;
   std::map<ObjectId, std::shared_ptr<Object>> objects_;
   simnet::TokenBucket disk_read_;

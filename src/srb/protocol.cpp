@@ -1,5 +1,7 @@
 #include "srb/protocol.hpp"
 
+#include "common/checksum.hpp"
+
 namespace remio::srb {
 
 const char* status_name(Status s) {
@@ -13,32 +15,64 @@ const char* status_name(Status s) {
     case Status::kInvalid: return "invalid argument";
     case Status::kNoMcat: return "MCAT unavailable";
     case Status::kQuotaExceeded: return "tenant quota exceeded";
+    case Status::kChecksumMismatch: return "checksum mismatch";
+    case Status::kQuarantined: return "object quarantined";
   }
   return "unknown";
 }
 
 namespace {
-void send_framed(simnet::Socket& sock, ByteSpan head, ByteSpan body) {
+void send_framed(simnet::Socket& sock, ByteSpan head, ByteSpan body,
+                 bool with_crc) {
   Bytes msg;
-  msg.reserve(4 + head.size() + body.size());
+  msg.reserve(4 + head.size() + body.size() + (with_crc ? 4 : 0));
   ByteWriter w(msg);
-  w.u32(static_cast<std::uint32_t>(head.size() + body.size()));
+  w.u32(static_cast<std::uint32_t>(head.size() + body.size() +
+                                   (with_crc ? 4 : 0)));
   w.raw(head);
   w.raw(body);
+  if (with_crc) {
+    Crc32c crc;
+    crc.update(head);
+    crc.update(body);
+    w.u32(crc.value());
+  }
   sock.send_all(msg);
 }
 }  // namespace
 
 void send_frame(simnet::Socket& sock, std::uint8_t head, ByteSpan body) {
   const char h = static_cast<char>(head);
-  send_framed(sock, ByteSpan(&h, 1), body);
+  send_framed(sock, ByteSpan(&h, 1), body, /*with_crc=*/false);
 }
 
 void send_frame2(simnet::Socket& sock, std::int32_t status, ByteSpan body) {
   Bytes head;
   ByteWriter w(head);
   w.i32(status);
-  send_framed(sock, head, body);
+  send_framed(sock, head, body, /*with_crc=*/false);
+}
+
+void send_frame_crc(simnet::Socket& sock, std::uint8_t head, ByteSpan body) {
+  const char h = static_cast<char>(head);
+  send_framed(sock, ByteSpan(&h, 1), body, /*with_crc=*/true);
+}
+
+void send_frame2_crc(simnet::Socket& sock, std::int32_t status, ByteSpan body) {
+  Bytes head;
+  ByteWriter w(head);
+  w.i32(status);
+  send_framed(sock, head, body, /*with_crc=*/true);
+}
+
+bool strip_frame_crc(Bytes& frame) {
+  if (frame.size() < 5) return false;  // head byte + trailer at minimum
+  const std::size_t content = frame.size() - 4;
+  std::uint32_t wire;
+  std::memcpy(&wire, frame.data() + content, 4);
+  if (crc32c(ByteSpan(frame.data(), content)) != wire) return false;
+  frame.resize(content);
+  return true;
 }
 
 bool recv_frame(simnet::Socket& sock, Bytes& out) {

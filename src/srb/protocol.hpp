@@ -41,6 +41,11 @@ enum class Op : std::uint8_t {
   // the server answers kInvalid (keeping the session) otherwise.
   kObjReadList = 14,
   kObjWriteList = 15,
+  // Admin: walk every stored object's block checksums (ObjectStore::scrub).
+  //   kAdminScrub request  := (empty)
+  //   kAdminScrub response := objects:u64 blocks:u64 mismatched:u64
+  //                           quarantined:u64 healed:u64
+  kAdminScrub = 16,
 };
 
 enum class Status : std::int32_t {
@@ -56,6 +61,15 @@ enum class Status : std::int32_t {
   /// exceeded. Semantic, session-preserving: the client can shed load or
   /// free space and retry.
   kQuotaExceeded = -8,
+  /// A checksum failed: a frame arrived corrupted (in-flight bit flip) or a
+  /// stored block no longer matches its at-rest CRC. Session-preserving and
+  /// RETRYABLE — the request/response rhythm is intact, so the client can
+  /// simply re-issue the idempotent, offset-addressed op.
+  kChecksumMismatch = -9,
+  /// The object failed a scrub and is quarantined: reads are refused until
+  /// the data is rewritten and a re-scrub validates it. NOT retryable —
+  /// replaying the read cannot succeed.
+  kQuarantined = -10,
 };
 
 const char* status_name(Status s);
@@ -71,6 +85,17 @@ enum OpenFlags : std::uint32_t {
 /// Seek whence, matching POSIX semantics.
 enum class Whence : std::uint8_t { kSet = 0, kCur = 1, kEnd = 2 };
 
+/// Feature bits, negotiated at kConnect: the client appends a flags:u32 as
+/// an optional trailing request field (omitted entirely when it wants no
+/// features, making it bit-identical to a pre-feature client); the server
+/// echoes the accepted subset as an optional trailing response field, only
+/// when the client sent one. Old peers never read the trailing bytes, so
+/// interop falls back to the unadorned protocol in both directions.
+enum FeatureFlags : std::uint32_t {
+  /// Every post-connect frame carries a CRC32C trailer (see send_frame_crc).
+  kFeatureWireChecksums = 1u << 0,
+};
+
 /// Hard cap on a single message; protects the server from hostile lengths.
 constexpr std::uint32_t kMaxMessage = 128u << 20;
 
@@ -82,6 +107,21 @@ constexpr std::uint32_t kMaxListExtents = 4096;
 /// Sends one framed message: [len][head][body...].
 void send_frame(simnet::Socket& sock, std::uint8_t head, ByteSpan body);
 void send_frame2(simnet::Socket& sock, std::int32_t status, ByteSpan body);
+
+/// Checksummed framing (kFeatureWireChecksums sessions): the frame content
+/// gains a crc32c:u32 trailer over [head|body], and len counts it —
+/// [len][head][body...][crc32c]. The length prefix itself stays uncovered:
+/// it is what keeps the two ends in phase, and the fault model (like TCP
+/// segmentation) preserves it, so a corrupted frame is still a *complete*
+/// frame and the receiver can answer kChecksumMismatch in rhythm.
+void send_frame_crc(simnet::Socket& sock, std::uint8_t head, ByteSpan body);
+void send_frame2_crc(simnet::Socket& sock, std::int32_t status, ByteSpan body);
+
+/// Verifies and strips the CRC32C trailer of a received frame in place.
+/// Returns false on mismatch (or a frame too short to carry the trailer);
+/// the caller decides the reaction (server: reply kChecksumMismatch and
+/// keep the session; client: throw a retryable integrity error).
+bool strip_frame_crc(Bytes& frame);
 
 /// Receives one framed message; returns false on clean EOF before a frame.
 /// Throws simnet::NetError on mid-frame EOF or oversized frames.

@@ -42,9 +42,28 @@ class SrbServer::Session {
     try {
       Bytes frame;
       while (recv_frame(*sock_, frame)) {
+        if (crc_ && !strip_frame_crc(frame)) {
+          // Request arrived corrupted. Framing held (the length prefix is
+          // uncovered by design), so the stream is still in phase: report
+          // the mismatch in rhythm and let the client re-send. Crucially
+          // the frame is NOT dispatched — a flipped bit in a write payload
+          // must never reach the store.
+          reply(Status::kChecksumMismatch);
+          continue;
+        }
         ByteReader r(ByteSpan(frame.data(), frame.size()));
         const auto op = static_cast<Op>(r.u8());
-        if (!dispatch(op, r)) break;
+        bool keep = true;
+        try {
+          keep = dispatch(op, r);
+        } catch (const IntegrityError& e) {
+          // At-rest corruption detected while servicing the op. The session
+          // survives: quarantine is permanent until repaired, a plain
+          // mismatch is retryable (scrub may heal, replicas may differ).
+          reply(e.quarantined() ? Status::kQuarantined
+                                : Status::kChecksumMismatch);
+        }
+        if (!keep) break;
       }
     } catch (const simnet::NetError& e) {
       REMIO_LOG_DEBUG("srb session ended: ", e.what());
@@ -97,11 +116,14 @@ class SrbServer::Session {
     bool admitted_ = true;
   };
 
-  void reply(Status st) { send_frame2(*sock_, static_cast<std::int32_t>(st), {}); }
+  void reply(Status st) { reply(st, {}); }
 
   void reply(Status st, const Bytes& body) {
-    send_frame2(*sock_, static_cast<std::int32_t>(st),
-                ByteSpan(body.data(), body.size()));
+    const ByteSpan span(body.data(), body.size());
+    if (crc_)
+      send_frame2_crc(*sock_, static_cast<std::int32_t>(st), span);
+    else
+      send_frame2(*sock_, static_cast<std::int32_t>(st), span);
   }
 
   bool dispatch(Op op, ByteReader& r) {
@@ -110,6 +132,9 @@ class SrbServer::Session {
         (void)r.str();  // client name (logged only)
         // Optional tenant identity: old clients simply omit it.
         const std::string tenant = r.remaining() > 0 ? r.str() : std::string();
+        // Optional feature flags: appended only by clients that want a
+        // feature, so their absence means a pre-integrity peer.
+        const std::uint32_t asked = r.remaining() >= 4 ? r.u32() : 0;
         if (!r.ok()) return proto_error();
         if (server_.cfg_.tenants.enabled && !tenant.empty()) {
           if (tenant.find('/') != std::string::npos) {
@@ -121,10 +146,19 @@ class SrbServer::Session {
           prefix_ = "/tenants/" + tenant;
           server_.mcat_.make_collection(prefix_);
         }
+        std::uint32_t granted = 0;
+        if (server_.cfg_.wire_checksums)
+          granted = asked & kFeatureWireChecksums;
         Bytes body;
         ByteWriter w(body);
         w.str(server_.cfg_.banner);
+        // Echo accepted flags ONLY to a client that sent some: an old
+        // client would misparse trailing bytes it never asked for.
+        if (asked != 0) w.u32(granted);
         reply(Status::kOk, body);
+        // The connect exchange itself is never checksummed (the feature is
+        // being negotiated in it); coverage starts with the next frame.
+        crc_ = (granted & kFeatureWireChecksums) != 0;
         return true;
       }
       case Op::kDisconnect:
@@ -144,6 +178,7 @@ class SrbServer::Session {
       case Op::kCollList: return handle_list(r);
       case Op::kSetAttr: return handle_set_attr(r);
       case Op::kGetAttr: return handle_get_attr(r);
+      case Op::kAdminScrub: return handle_scrub(r);
     }
     reply(Status::kProtocol);
     return false;
@@ -547,6 +582,20 @@ class SrbServer::Session {
     return true;
   }
 
+  bool handle_scrub(ByteReader& r) {
+    if (!r.ok()) return proto_error();
+    const ScrubReport rep = server_.store_.scrub();
+    Bytes body;
+    ByteWriter w(body);
+    w.u64(rep.objects);
+    w.u64(rep.blocks);
+    w.u64(rep.mismatched);
+    w.u64(rep.quarantined);
+    w.u64(rep.healed);
+    reply(Status::kOk, body);
+    return true;
+  }
+
   bool proto_error() {
     reply(Status::kProtocol);
     return false;
@@ -561,6 +610,7 @@ class SrbServer::Session {
   // Tenant identity bound at kConnect (null = untenanted legacy session).
   TenantRegistry::Tenant* tenant_ = nullptr;
   std::string prefix_;  // "/tenants/<name>" namespace carve-out, or empty
+  bool crc_ = false;    // per-frame CRC32C, negotiated at kConnect
 };
 
 // ---------------------------------------------------------------------------

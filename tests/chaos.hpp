@@ -1,0 +1,18 @@
+// Opt-in chaos knob for CI: REMIO_CHAOS_CORRUPT=<probability> raises the
+// ambient in-flight corruption rate that corruption-aware fixtures inject on
+// supervised (semplar/) connections. Unset or 0 leaves suites deterministic
+// at their built-in rates.
+#pragma once
+
+#include <cstdlib>
+
+namespace remio {
+
+inline double chaos_corrupt_rate() {
+  const char* v = std::getenv("REMIO_CHAOS_CORRUPT");
+  if (v == nullptr || *v == '\0') return 0.0;
+  const double p = std::atof(v);
+  return (p > 0.0 && p <= 1.0) ? p : 0.0;
+}
+
+}  // namespace remio

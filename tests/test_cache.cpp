@@ -493,6 +493,124 @@ TEST_F(CachedFileTest, GapWritesReadBackAsZeros) {
   f.close();
 }
 
+// --- Cache-resident integrity (client-memory rot) ---------------------------
+
+TEST_F(CachedFileTest, ResidentRotIsCaughtByVerifyResident) {
+  // Fill four blocks from the broker (fills compute CRCs), then silently
+  // flip one resident byte: verify_resident must find exactly that block.
+  {
+    SrbfsDriver seed_driver(fabric_, config());
+    mpiio::File w(seed_driver, "/c/rot",
+                  mpiio::kModeRead | mpiio::kModeWrite | mpiio::kModeCreate);
+    const Bytes data = remio::Rng(41).bytes(256 * 1024);
+    ASSERT_EQ(w.write_at(0, ByteSpan(data.data(), data.size())), data.size());
+    w.close();
+  }
+  SrbfsDriver driver(fabric_, cached_config(1u << 20, 64 * 1024, 0, 0));
+  mpiio::File f(driver, "/c/rot", mpiio::kModeRead);
+  auto* sf = dynamic_cast<SemplarFile*>(&f.handle());
+  ASSERT_NE(sf, nullptr);
+  Bytes back(256 * 1024);
+  ASSERT_EQ(f.read_at(0, MutByteSpan(back.data(), back.size())), back.size());
+  ASSERT_EQ(sf->cache()->resident_blocks(), 4u);
+
+  EXPECT_EQ(sf->cache()->verify_resident(), 0u);  // clean scrub
+  const auto clean = sf->stats().snapshot();
+  EXPECT_EQ(clean.cache_integrity_verified, 4u);
+  EXPECT_EQ(clean.cache_integrity_failures, 0u);
+
+  sf->cache()->debug_flip_byte(70000);  // inside block 1
+  EXPECT_EQ(sf->cache()->verify_resident(), 1u);
+  const auto snap = sf->stats().snapshot();
+  EXPECT_EQ(snap.cache_integrity_verified, 8u);
+  EXPECT_EQ(snap.cache_integrity_failures, 1u);
+  f.close();
+}
+
+TEST_F(CachedFileTest, CleanEvictionRunsAFinalSumCheck) {
+  // Last-chance detection: a clean block leaving the cache is checked, so
+  // rot is noticed even if nobody ever called verify_resident.
+  {
+    SrbfsDriver seed_driver(fabric_, config());
+    mpiio::File w(seed_driver, "/c/evict-rot",
+                  mpiio::kModeRead | mpiio::kModeWrite | mpiio::kModeCreate);
+    const Bytes data = remio::Rng(43).bytes(192 * 1024);
+    ASSERT_EQ(w.write_at(0, ByteSpan(data.data(), data.size())), data.size());
+    w.close();
+  }
+  // Two-block capacity: reading a third block evicts the LRU (block 0).
+  SrbfsDriver driver(fabric_, cached_config(128 * 1024, 64 * 1024, 0, 0));
+  mpiio::File f(driver, "/c/evict-rot", mpiio::kModeRead);
+  auto* sf = dynamic_cast<SemplarFile*>(&f.handle());
+  ASSERT_NE(sf, nullptr);
+  Bytes buf(64 * 1024);
+  ASSERT_EQ(f.read_at(0, MutByteSpan(buf.data(), buf.size())), buf.size());
+  ASSERT_EQ(f.read_at(64 * 1024, MutByteSpan(buf.data(), buf.size())),
+            buf.size());
+  sf->cache()->debug_flip_byte(1234);  // rot block 0 while it is resident
+  ASSERT_EQ(f.read_at(128 * 1024, MutByteSpan(buf.data(), buf.size())),
+            buf.size());  // forces the eviction of block 0
+  const auto snap = sf->stats().snapshot();
+  EXPECT_GE(snap.cache_integrity_failures, 1u);
+  f.close();
+}
+
+TEST_F(CachedFileTest, LocalWritesStaleTheSumWithoutFalsePositives) {
+  // A write through the cache makes the block's CRC stale (dirty data is
+  // covered by wire + at-rest checksums once flushed); the staled block is
+  // skipped by scrubs — never misreported — and serves correct bytes.
+  SrbfsDriver driver(fabric_, cached_config(1u << 20, 64 * 1024, 0, 0));
+  mpiio::File f(driver, "/c/stale",
+                mpiio::kModeRead | mpiio::kModeWrite | mpiio::kModeCreate);
+  auto* sf = dynamic_cast<SemplarFile*>(&f.handle());
+  ASSERT_NE(sf, nullptr);
+  const Bytes data = remio::Rng(47).bytes(64 * 1024);
+  ASSERT_EQ(f.write_at(0, ByteSpan(data.data(), data.size())), data.size());
+  f.flush();
+  // Fresh fill (drop + re-read) so the block has a live CRC...
+  sf->cache()->invalidate();
+  Bytes back(data.size());
+  ASSERT_EQ(f.read_at(0, MutByteSpan(back.data(), back.size())), back.size());
+  EXPECT_EQ(sf->cache()->verify_resident(), 0u);
+  // ...then overwrite part of it: the sum goes stale, scrubs skip it.
+  const Bytes patch(100, 'z');
+  ASSERT_EQ(f.write_at(5000, ByteSpan(patch.data(), patch.size())),
+            patch.size());
+  EXPECT_EQ(sf->cache()->verify_resident(), 0u);
+  const auto snap = sf->stats().snapshot();
+  EXPECT_EQ(snap.cache_integrity_failures, 0u);
+  ASSERT_EQ(f.read_at(0, MutByteSpan(back.data(), back.size())), back.size());
+  Bytes expect = data;
+  std::copy(patch.begin(), patch.end(), expect.begin() + 5000);
+  EXPECT_EQ(back, expect);
+  f.close();
+}
+
+TEST_F(CachedFileTest, CacheVerifyCanBeDisabled) {
+  {
+    SrbfsDriver seed_driver(fabric_, config());
+    mpiio::File w(seed_driver, "/c/noverify",
+                  mpiio::kModeRead | mpiio::kModeWrite | mpiio::kModeCreate);
+    const Bytes data(128 * 1024, 'n');
+    ASSERT_EQ(w.write_at(0, ByteSpan(data.data(), data.size())), data.size());
+    w.close();
+  }
+  Config cfg = cached_config(1u << 20, 64 * 1024, 0, 0);
+  cfg.integrity.cache_verify = false;
+  SrbfsDriver driver(fabric_, cfg);
+  mpiio::File f(driver, "/c/noverify", mpiio::kModeRead);
+  auto* sf = dynamic_cast<SemplarFile*>(&f.handle());
+  ASSERT_NE(sf, nullptr);
+  Bytes back(128 * 1024);
+  ASSERT_EQ(f.read_at(0, MutByteSpan(back.data(), back.size())), back.size());
+  sf->cache()->debug_flip_byte(10);  // nobody is looking
+  EXPECT_EQ(sf->cache()->verify_resident(), 0u);
+  const auto snap = sf->stats().snapshot();
+  EXPECT_EQ(snap.cache_integrity_verified, 0u);
+  EXPECT_EQ(snap.cache_integrity_failures, 0u);
+  f.close();
+}
+
 TEST_F(CachedFileTest, DefaultConfigBypassesCacheEntirely) {
   SrbfsDriver driver(fabric_, config());
   auto handle = driver.open("/c/plain", mpiio::kModeWrite | mpiio::kModeCreate);

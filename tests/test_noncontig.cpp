@@ -7,10 +7,12 @@
 
 #include <filesystem>
 
+#include "chaos.hpp"
 #include "common/rng.hpp"
 #include "core/semplar.hpp"
 #include "mpiio/file.hpp"
 #include "mpiio/ufs.hpp"
+#include "simnet/faults.hpp"
 #include "simnet/timescale.hpp"
 #include "srb/server.hpp"
 
@@ -28,18 +30,35 @@ class NoncontigTest : public ::testing::Test {
     fabric_.add_host(node);
     server_ = std::make_unique<srb::SrbServer>(fabric_, srb::ServerConfig{});
     server_->start();
+    // Chaos lane: REMIO_CHAOS_CORRUPT flips bits on the supervised semplar
+    // streams while the whole noncontig matrix runs. base_config() turns on
+    // retries in that mode, so every strategy has to earn its correctness
+    // under ambient corruption; raw SrbClient checks (tagged by host name,
+    // not "semplar/") stay deterministic.
+    if (chaos_corrupt_rate() > 0.0) {
+      faults_ = std::make_shared<simnet::FaultInjector>();
+      faults_->seed(0xc4a05u);
+      faults_->set_corrupt_probability(chaos_corrupt_rate(), "semplar/");
+      fabric_.set_fault_injector(faults_);
+    }
   }
 
   Config base_config() const {
     Config cfg;
     cfg.client_host = "node0";
     cfg.conn.tcp_window = 0;
+    if (faults_ != nullptr) {
+      cfg.retry.max_attempts = 8;
+      cfg.retry.backoff_base = 0.005;
+      cfg.retry.backoff_cap = 0.04;
+    }
     return cfg;
   }
 
   simnet::ScopedTimeScale scale_;
   simnet::Fabric fabric_;
   std::unique_ptr<srb::SrbServer> server_;
+  std::shared_ptr<simnet::FaultInjector> faults_;
 };
 
 // --- the wire verb itself --------------------------------------------------

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/checksum.hpp"
 #include "common/rng.hpp"
 #include "simnet/timescale.hpp"
 #include "srb/client.hpp"
@@ -332,6 +333,240 @@ TEST_F(ListVerbFuzzTest, RandomizedListFrameFuzzNeverKillsSession) {
     (void)roundtrip(*sock, op, body);  // any status; session must answer
   }
   expect_session_alive(*sock, fd);
+  expect_server_alive();
+}
+
+// ---------------------------------------------------------------------------
+// Structure-aware corruption fuzz: single-bit flips aimed at each region of
+// a checksummed frame — opcode, payload body, CRC trailer, and the length
+// prefix. The contract under test: NO flipped frame is ever dispatched
+// (wrong data must never land in the store); in-phase flips (anything the
+// trailer covers) are answered kChecksumMismatch with the session intact,
+// and length-prefix flips — which destroy framing itself — cost at most the
+// session, never the server and never the data.
+// ---------------------------------------------------------------------------
+
+class CorruptionFuzzTest : public ProtocolFuzzTest {
+ protected:
+  /// kConnect with the checksum feature flag over raw frames; returns true
+  /// when the server granted it (it must, by default).
+  bool raw_connect_crc(simnet::Socket& sock) {
+    Bytes body;
+    ByteWriter w(body);
+    w.str("corruption-fuzz");
+    w.str("");  // no tenant
+    w.u32(kFeatureWireChecksums);
+    send_frame(sock, static_cast<std::uint8_t>(Op::kConnect),
+               ByteSpan(body.data(), body.size()));
+    Bytes frame;
+    if (!recv_frame(sock, frame)) return false;
+    ByteReader r(ByteSpan(frame.data(), frame.size()));
+    if (static_cast<Status>(r.i32()) != Status::kOk) return false;
+    (void)r.str();  // banner
+    return r.remaining() >= 4 && (r.u32() & kFeatureWireChecksums) != 0;
+  }
+
+  /// Builds the exact bytes a checksummed request occupies on the wire.
+  static Bytes build_crc_frame(Op op, const Bytes& body) {
+    Bytes frame;
+    ByteWriter w(frame);
+    w.u32(static_cast<std::uint32_t>(1 + body.size() + 4));
+    w.u8(static_cast<std::uint8_t>(op));
+    w.raw(ByteSpan(body.data(), body.size()));
+    w.u32(crc32c(ByteSpan(frame.data() + 4, frame.size() - 4)));
+    return frame;
+  }
+
+  /// Sends a pristine checksummed request, verifies the response trailer,
+  /// returns the status.
+  Status crc_roundtrip(simnet::Socket& sock, Op op, const Bytes& body,
+                       Bytes* resp_body = nullptr) {
+    send_frame_crc(sock, static_cast<std::uint8_t>(op),
+                   ByteSpan(body.data(), body.size()));
+    Bytes frame;
+    EXPECT_TRUE(recv_frame(sock, frame)) << "session dropped";
+    EXPECT_TRUE(strip_frame_crc(frame)) << "response trailer corrupt";
+    ByteReader r(ByteSpan(frame.data(), frame.size()));
+    const auto st = static_cast<Status>(r.i32());
+    if (resp_body != nullptr) {
+      const ByteSpan rest = r.rest();
+      resp_body->assign(rest.begin(), rest.end());
+    }
+    return st;
+  }
+
+  std::int32_t crc_open(simnet::Socket& sock, const std::string& path) {
+    Bytes body;
+    ByteWriter w(body);
+    w.str(path);
+    w.u32(kRead | kWrite | kCreate);
+    Bytes resp;
+    EXPECT_EQ(crc_roundtrip(sock, Op::kObjOpen, body, &resp), Status::kOk);
+    ByteReader r(ByteSpan(resp.data(), resp.size()));
+    return r.i32();
+  }
+
+  /// A kObjWrite request body: fd, offset, payload.
+  static Bytes write_body(std::int32_t fd, std::uint64_t offset,
+                          const Bytes& payload) {
+    Bytes body;
+    ByteWriter w(body);
+    w.i32(fd);
+    w.i64(static_cast<std::int64_t>(offset));
+    w.blob(ByteSpan(payload.data(), payload.size()));
+    return body;
+  }
+};
+
+TEST_F(CorruptionFuzzTest, EveryInPhaseBitFlipDetectedInRhythm) {
+  auto sock = raw_connect();
+  ASSERT_TRUE(raw_connect_crc(*sock));
+  const std::int32_t fd = crc_open(*sock, "/fuzz/flip");
+
+  // Baseline content the mutations must never be able to change.
+  const Bytes baseline(512, 'B');
+  ASSERT_EQ(crc_roundtrip(*sock, Op::kObjWrite, write_body(fd, 0, baseline)),
+            Status::kOk);
+
+  const Bytes evil(512, 'E');
+  const Bytes pristine = build_crc_frame(Op::kObjWrite, write_body(fd, 0, evil));
+  Rng rng(0xf11bf11bu);
+  int header_flips = 0, payload_flips = 0, trailer_flips = 0;
+  for (int round = 0; round < 300; ++round) {
+    // Aim deliberately: opcode byte, CRC trailer, or anywhere in the body.
+    std::size_t byte;
+    const int region = static_cast<int>(rng.below(3));
+    if (region == 0) {
+      byte = 4;  // opcode
+      ++header_flips;
+    } else if (region == 1) {
+      byte = pristine.size() - 4 + rng.below(4);  // trailer
+      ++trailer_flips;
+    } else {
+      byte = 5 + rng.below(pristine.size() - 5 - 4);  // body
+      ++payload_flips;
+    }
+    Bytes mutated = pristine;
+    mutated[byte] ^= static_cast<char>(1u << rng.below(8));
+
+    sock->send_all(ByteSpan(mutated.data(), mutated.size()));
+    Bytes frame;
+    ASSERT_TRUE(recv_frame(*sock, frame)) << "session died on round " << round;
+    ASSERT_TRUE(strip_frame_crc(frame));
+    ByteReader r(ByteSpan(frame.data(), frame.size()));
+    // Every single-bit flip the trailer covers (and flips OF the trailer)
+    // must be rejected as a checksum mismatch — by CRC's single-bit-error
+    // guarantee there are no collisions to worry about.
+    ASSERT_EQ(static_cast<Status>(r.i32()), Status::kChecksumMismatch)
+        << "round " << round << " byte " << byte;
+  }
+  EXPECT_GT(header_flips, 0);
+  EXPECT_GT(payload_flips, 0);
+  EXPECT_GT(trailer_flips, 0);
+
+  // In-rhythm recovery: the very same session still serves, and none of the
+  // 300 corrupted writes leaked a byte into the store.
+  Bytes body;
+  ByteWriter w(body);
+  w.i32(fd);
+  w.i64(0);
+  w.u32(512);
+  Bytes resp;
+  ASSERT_EQ(crc_roundtrip(*sock, Op::kObjRead, body, &resp), Status::kOk);
+  ByteReader r(ByteSpan(resp.data(), resp.size()));
+  const Bytes back = r.blob();
+  EXPECT_EQ(back, baseline);
+  expect_server_alive();
+}
+
+TEST_F(CorruptionFuzzTest, LengthPrefixFlipsNeverLandData) {
+  // Flips in the 4-byte length prefix sit OUTSIDE the checksum (by design:
+  // covering it would desync framing on every detection). Such a flip can
+  // legitimately kill the session — but it must never produce a dispatched
+  // frame, and the server must survive.
+  const Bytes baseline(256, 'B');
+  {
+    auto setup = raw_connect();
+    ASSERT_TRUE(raw_connect_crc(*setup));
+    const std::int32_t fd = crc_open(*setup, "/fuzz/len");
+    ASSERT_EQ(crc_roundtrip(*setup, Op::kObjWrite, write_body(fd, 0, baseline)),
+              Status::kOk);
+  }
+
+  Rng rng(0x1e471e47u);
+  for (int round = 0; round < 32; ++round) {
+    auto sock = raw_connect();
+    ASSERT_TRUE(raw_connect_crc(*sock));
+    const std::int32_t fd = crc_open(*sock, "/fuzz/len");
+    const Bytes evil(256, 'E');
+    Bytes mutated = build_crc_frame(Op::kObjWrite, write_body(fd, 0, evil));
+    mutated[rng.below(4)] ^= static_cast<char>(1u << rng.below(8));
+    try {
+      sock->send_all(ByteSpan(mutated.data(), mutated.size()));
+      sock->shutdown_send();  // a bigger claimed length now reads as EOF
+      Bytes drain(256);
+      while (sock->recv_some(MutByteSpan(drain.data(), drain.size())) > 0) {
+      }
+    } catch (const simnet::NetError&) {
+      // Server slammed the session: acceptable for a framing-level fault.
+    }
+  }
+
+  // However the 32 sessions ended, the evil payload never landed.
+  auto sock = raw_connect();
+  ASSERT_TRUE(raw_connect_crc(*sock));
+  const std::int32_t fd = crc_open(*sock, "/fuzz/len");
+  Bytes body;
+  ByteWriter w(body);
+  w.i32(fd);
+  w.i64(0);
+  w.u32(256);
+  Bytes resp;
+  ASSERT_EQ(crc_roundtrip(*sock, Op::kObjRead, body, &resp), Status::kOk);
+  ByteReader r(ByteSpan(resp.data(), resp.size()));
+  EXPECT_EQ(r.blob(), baseline);
+  expect_server_alive();
+}
+
+TEST_F(CorruptionFuzzTest, MultiBitRandomMutationsNeverLandData) {
+  // Beyond the single-bit guarantee: arbitrary k-bit mutations of one frame
+  // (k in 1..8). A pathological collision would be caught here as a silent
+  // acceptance of wrong data, which the baseline read-back would expose.
+  auto sock = raw_connect();
+  ASSERT_TRUE(raw_connect_crc(*sock));
+  const std::int32_t fd = crc_open(*sock, "/fuzz/multi");
+  const Bytes baseline(384, 'B');
+  ASSERT_EQ(crc_roundtrip(*sock, Op::kObjWrite, write_body(fd, 0, baseline)),
+            Status::kOk);
+
+  const Bytes evil(384, 'E');
+  const Bytes pristine = build_crc_frame(Op::kObjWrite, write_body(fd, 0, evil));
+  Rng rng(0x5eed5eedu);
+  for (int round = 0; round < 200; ++round) {
+    Bytes mutated = pristine;
+    const std::size_t flips = 1 + rng.below(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t byte = 4 + rng.below(mutated.size() - 4);
+      mutated[byte] ^= static_cast<char>(1u << rng.below(8));
+    }
+    sock->send_all(ByteSpan(mutated.data(), mutated.size()));
+    Bytes frame;
+    ASSERT_TRUE(recv_frame(*sock, frame));
+    ASSERT_TRUE(strip_frame_crc(frame));
+    ByteReader r(ByteSpan(frame.data(), frame.size()));
+    ASSERT_EQ(static_cast<Status>(r.i32()), Status::kChecksumMismatch)
+        << "round " << round;
+  }
+
+  Bytes body;
+  ByteWriter w(body);
+  w.i32(fd);
+  w.i64(0);
+  w.u32(384);
+  Bytes resp;
+  ASSERT_EQ(crc_roundtrip(*sock, Op::kObjRead, body, &resp), Status::kOk);
+  ByteReader r(ByteSpan(resp.data(), resp.size()));
+  EXPECT_EQ(r.blob(), baseline);
   expect_server_alive();
 }
 

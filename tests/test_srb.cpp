@@ -6,6 +6,7 @@
 #include <future>
 
 #include "common/rng.hpp"
+#include "simnet/faults.hpp"
 #include "simnet/timescale.hpp"
 #include "srb/client.hpp"
 #include "srb/object_store.hpp"
@@ -289,6 +290,268 @@ TEST(ObjectStore, CreateIsIdempotent) {
   store.pwrite(1, ByteSpan(data.data(), data.size()), 0);
   store.create(1);  // must not clobber
   EXPECT_EQ(store.size(1), 4u);
+}
+
+// --- at-rest integrity -------------------------------------------------------
+
+TEST(ObjectStore, CorruptionDetectedOnRead) {
+  ObjectStore store;
+  store.create(1);
+  Bytes data(200000);
+  Rng rng(1);
+  for (auto& b : data) b = static_cast<char>(rng.next());
+  store.pwrite(1, ByteSpan(data.data(), data.size()), 0);
+
+  ASSERT_TRUE(store.corrupt(1, 150000));  // second 64K block
+  Bytes back(data.size());
+  // A read covering the rotten block throws; one confined to clean blocks
+  // still succeeds (per-block sums localize the damage).
+  EXPECT_THROW(store.pread(1, MutByteSpan(back.data(), back.size()), 0),
+               IntegrityError);
+  EXPECT_EQ(store.pread(1, MutByteSpan(back.data(), 60000), 0), 60000u);
+  // Rewriting the bad block's bytes re-hashes it: reads recover.
+  store.pwrite(1, ByteSpan(data.data() + 131072, 65536), 131072);
+  EXPECT_EQ(store.pread(1, MutByteSpan(back.data(), back.size()), 0),
+            data.size());
+  EXPECT_EQ(back, data);
+}
+
+TEST(ObjectStore, TruncateAndGapWritesKeepSumsFresh) {
+  ObjectStore store;
+  store.create(1);
+  Bytes data(300000, 'q');
+  store.pwrite(1, ByteSpan(data.data(), data.size()), 0);
+  // Shrink to a mid-block boundary, then re-grow via a sparse write: the
+  // zero-extension gap and the partial tail block must both be re-hashed.
+  store.truncate(1, 100000);
+  store.pwrite(1, ByteSpan(data.data(), 10), 250000);
+  Bytes back(250010);
+  EXPECT_EQ(store.pread(1, MutByteSpan(back.data(), back.size()), 0),
+            back.size());
+  for (std::size_t i = 100000; i < 250000; ++i)
+    ASSERT_EQ(back[i], 0) << "gap byte " << i;
+  store.truncate(1, 0);
+  EXPECT_EQ(store.pread(1, MutByteSpan(back.data(), back.size()), 0), 0u);
+}
+
+TEST(ObjectStore, ScrubQuarantinesAndHeals) {
+  ObjectStore store;
+  store.create(1);
+  store.create(2);
+  Bytes data(100000, 'z');
+  store.pwrite(1, ByteSpan(data.data(), data.size()), 0);
+  store.pwrite(2, ByteSpan(data.data(), data.size()), 0);
+
+  ASSERT_TRUE(store.corrupt(2, 5));
+  ScrubReport rep = store.scrub();
+  EXPECT_EQ(rep.objects, 2u);
+  EXPECT_EQ(rep.mismatched, 1u);
+  EXPECT_EQ(rep.quarantined, 1u);
+  EXPECT_EQ(rep.healed, 0u);
+  EXPECT_TRUE(store.is_quarantined(2));
+  EXPECT_FALSE(store.is_quarantined(1));
+
+  // Reads of the quarantined object fail non-retryably; the clean one works.
+  Bytes back(16);
+  try {
+    store.pread(2, MutByteSpan(back.data(), back.size()), 0);
+    FAIL() << "expected IntegrityError";
+  } catch (const IntegrityError& e) {
+    EXPECT_TRUE(e.quarantined());
+    EXPECT_FALSE(e.retryable());
+    EXPECT_EQ(e.domain(), remio::ErrorDomain::kIntegrity);
+  }
+  EXPECT_EQ(store.pread(1, MutByteSpan(back.data(), back.size()), 0), 16u);
+
+  // Writes remain allowed (the repair path); a clean re-scrub heals.
+  store.pwrite(2, ByteSpan(data.data(), 65536), 0);
+  rep = store.scrub();
+  EXPECT_EQ(rep.mismatched, 0u);
+  EXPECT_EQ(rep.healed, 1u);
+  EXPECT_FALSE(store.is_quarantined(2));
+  EXPECT_EQ(store.pread(2, MutByteSpan(back.data(), back.size()), 0), 16u);
+}
+
+// --- wire checksums: negotiation + interop ----------------------------------
+
+TEST_F(SrbTest, WireChecksumsNegotiatedByDefault) {
+  auto c = make_client();
+  EXPECT_TRUE(c->wire_checksums());
+  const auto fd = c->open("/crc/on", kRead | kWrite | kCreate);
+  const Bytes data = to_bytes("covered by crc32c trailers");
+  EXPECT_EQ(c->pwrite(fd, ByteSpan(data.data(), data.size()), 0), data.size());
+  Bytes back(data.size());
+  EXPECT_EQ(c->pread(fd, MutByteSpan(back.data(), back.size()), 0), data.size());
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(c->crc_failures(), 0u);
+  c->close(fd);
+}
+
+TEST_F(SrbTest, OldClientAgainstNewServerInterops) {
+  // wire_checksums=false makes the client bit-identical to a pre-integrity
+  // one: no flags at connect, so the server must not ack and the whole
+  // session must run the unchecked protocol.
+  auto old_c = std::make_unique<SrbClient>(fabric_, "node0", "orion", 5544,
+                                           simnet::ConnectOptions{}, "old-client",
+                                           "", /*wire_checksums=*/false);
+  EXPECT_FALSE(old_c->wire_checksums());
+  const auto fd = old_c->open("/crc/old", kRead | kWrite | kCreate);
+  const Bytes data = to_bytes("plain frames");
+  EXPECT_EQ(old_c->pwrite(fd, ByteSpan(data.data(), data.size()), 0),
+            data.size());
+  Bytes back(data.size());
+  EXPECT_EQ(old_c->pread(fd, MutByteSpan(back.data(), back.size()), 0),
+            data.size());
+  EXPECT_EQ(back, data);
+  old_c->close(fd);
+}
+
+TEST_F(SrbTest, NewClientAgainstOldServerDowngrades) {
+  // A server with the feature off behaves like an old broker: it never
+  // echoes flags, and the new client silently downgrades.
+  ServerConfig cfg;
+  cfg.port = 5599;
+  cfg.wire_checksums = false;
+  SrbServer old_server(fabric_, cfg);
+  old_server.start();
+  SrbClient c(fabric_, "node0", "orion", 5599);
+  EXPECT_FALSE(c.wire_checksums());
+  const auto fd = c.open("/crc/downgrade", kRead | kWrite | kCreate);
+  const Bytes data = to_bytes("negotiated off");
+  EXPECT_EQ(c.pwrite(fd, ByteSpan(data.data(), data.size()), 0), data.size());
+  Bytes back(data.size());
+  EXPECT_EQ(c.pread(fd, MutByteSpan(back.data(), back.size()), 0), data.size());
+  EXPECT_EQ(back, data);
+  c.close(fd);
+  c.disconnect();
+  old_server.stop();
+}
+
+TEST_F(SrbTest, WireOverheadIsExactlyFourBytesPerFrame) {
+  // Pins the frame format: a CRC session moves exactly 4 extra bytes per
+  // message in each direction (the trailer; plus the 4-byte flags field in
+  // the connect exchange). Also proves a checksums-off session is
+  // byte-identical to the pre-integrity protocol, whose costs these same
+  // op sequences pinned before this feature existed.
+  const auto run_ops = [&](SrbClient& c) {
+    const auto fd = c.open("/crc/overhead", kRead | kWrite | kCreate);
+    Bytes data(10000, 'k');
+    c.pwrite(fd, ByteSpan(data.data(), data.size()), 0);
+    Bytes back(10000);
+    c.pread(fd, MutByteSpan(back.data(), back.size()), 0);
+    c.close(fd);
+    c.disconnect();
+  };
+  auto on = make_client();
+  run_ops(*on);
+  const std::uint64_t on_sent = on->bytes_sent();
+  const std::uint64_t on_recv = on->bytes_received();
+  const std::uint64_t rpcs = on->rpc_count();
+
+  auto off = std::make_unique<SrbClient>(fabric_, "node0", "orion", 5544,
+                                         simnet::ConnectOptions{}, "remio-client",
+                                         "", /*wire_checksums=*/false);
+  run_ops(*off);
+  // Every frame (request and response) carries a 4-byte trailer except the
+  // two connect frames, which instead carry the 4-byte flags/ack fields:
+  // the delta is exactly 4 * rpc_count in each direction.
+  EXPECT_EQ(on_sent - off->bytes_sent(), 4u * rpcs);
+  EXPECT_EQ(on_recv - off->bytes_received(), 4u * rpcs);
+  EXPECT_EQ(off->rpc_count(), rpcs);
+}
+
+// --- end-to-end corruption: in flight and at rest ---------------------------
+
+TEST_F(SrbTest, InFlightCorruptionSurfacesAndSessionSurvives) {
+  auto fault = std::make_shared<simnet::FaultInjector>();
+  fabric_.set_fault_injector(fault);
+  auto c = make_client();
+  ASSERT_TRUE(c->wire_checksums());
+  const auto fd = c->open("/crc/flight", kRead | kWrite | kCreate);
+  Bytes data(20000, 'w');
+  c->pwrite(fd, ByteSpan(data.data(), data.size()), 0);
+
+  // Corrupt every send until further notice: whichever direction the flip
+  // lands in, the op must fail with the retryable integrity status and the
+  // wrong bytes must never be accepted.
+  fault->set_corrupt_probability(1.0);
+  Bytes back(20000);
+  try {
+    c->pread(fd, MutByteSpan(back.data(), back.size()), 0);
+    FAIL() << "expected SrbError";
+  } catch (const SrbError& e) {
+    EXPECT_EQ(e.status(), Status::kChecksumMismatch);
+    EXPECT_TRUE(e.retryable());
+    EXPECT_EQ(e.domain(), remio::ErrorDomain::kIntegrity);
+  }
+  EXPECT_GE(fault->corruptions(), 1u);
+
+  // Same socket, same session: once the line is clean the op just works.
+  fault->set_corrupt_probability(0.0);
+  EXPECT_EQ(c->pread(fd, MutByteSpan(back.data(), back.size()), 0),
+            data.size());
+  EXPECT_EQ(back, data);
+  c->close(fd);
+}
+
+TEST_F(SrbTest, AtRestCorruptionSurfacesOverTheWire) {
+  auto c = make_client();
+  const auto fd = c->open("/crc/rest", kRead | kWrite | kCreate);
+  Bytes data(100000, 'r');
+  c->pwrite(fd, ByteSpan(data.data(), data.size()), 0);
+  const auto st = c->stat("/crc/rest");
+  ASSERT_TRUE(st.has_value());
+
+  ASSERT_TRUE(server_->store().corrupt(st->object_id, 42));
+  Bytes back(100000);
+  try {
+    c->pread(fd, MutByteSpan(back.data(), back.size()), 0);
+    FAIL() << "expected SrbError";
+  } catch (const SrbError& e) {
+    EXPECT_EQ(e.status(), Status::kChecksumMismatch);
+    EXPECT_TRUE(e.retryable());
+  }
+  // The session survived the server-side throw; other objects still serve.
+  const auto fd2 = c->open("/crc/other", kRead | kWrite | kCreate);
+  c->pwrite(fd2, ByteSpan(data.data(), 100), 0);
+  EXPECT_EQ(c->pread(fd2, MutByteSpan(back.data(), 100), 0), 100u);
+  c->close(fd2);
+}
+
+TEST_F(SrbTest, AdminScrubQuarantinesOverTheWire) {
+  auto c = make_client();
+  const auto fd = c->open("/crc/scrubme", kRead | kWrite | kCreate);
+  Bytes data(70000, 's');
+  c->pwrite(fd, ByteSpan(data.data(), data.size()), 0);
+  const auto st = c->stat("/crc/scrubme");
+  ASSERT_TRUE(st.has_value());
+
+  SrbClient::ScrubResult rep = c->scrub();
+  EXPECT_GE(rep.objects, 1u);
+  EXPECT_EQ(rep.mismatched, 0u);
+
+  ASSERT_TRUE(server_->store().corrupt(st->object_id, 65536));
+  rep = c->scrub();
+  EXPECT_EQ(rep.mismatched, 1u);
+  EXPECT_EQ(rep.quarantined, 1u);
+
+  // kQuarantined is terminal until repaired — and distinct from a plain
+  // mismatch so supervisors don't burn retries on it.
+  Bytes back(16);
+  try {
+    c->pread(fd, MutByteSpan(back.data(), back.size()), 0);
+    FAIL() << "expected SrbError";
+  } catch (const SrbError& e) {
+    EXPECT_EQ(e.status(), Status::kQuarantined);
+    EXPECT_FALSE(e.retryable());
+  }
+
+  // Repair by rewriting the damaged block, then scrub-heal.
+  c->pwrite(fd, ByteSpan(data.data() + 65536, data.size() - 65536), 65536);
+  rep = c->scrub();
+  EXPECT_EQ(rep.healed, 1u);
+  EXPECT_EQ(c->pread(fd, MutByteSpan(back.data(), back.size()), 0), 16u);
+  c->close(fd);
 }
 
 }  // namespace
